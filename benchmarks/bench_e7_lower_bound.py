@@ -1,0 +1,47 @@
+"""E7 — the KKP Omega(log n) lower bound, demonstrated constructively.
+
+For the DistanceMod(M) scheme family (labels of ceil(log2 M) bits), the
+cut-and-splice adversary forges an accepted cycle whenever M < n - 2 and
+finds no collision once M reaches n: the exact log2(n) bit threshold the
+theorem predicts.
+"""
+
+import math
+import random
+
+from repro.experiments import Table
+from repro.pls.lower_bound import DistanceModScheme, splice_attack
+
+N = 96
+
+
+def _attack(modulus: int, seed: int):
+    return splice_attack(DistanceModScheme(modulus), N, random.Random(seed))
+
+
+def test_e7_lower_bound(benchmark):
+    table = Table(
+        f"E7: splice attack on DistanceMod(M) over the path on n={N} vertices",
+        ["M", "label bits", "collision found", "forged cycle accepted", "cycle length"],
+    )
+    for modulus in (4, 8, 16, 32, 64, 128, 256):
+        outcome = _attack(modulus, seed=modulus)
+        bits = max(1, math.ceil(math.log2(modulus)))
+        table.add(
+            modulus,
+            bits,
+            outcome.collision_found,
+            outcome.cycle_accepted,
+            outcome.cycle_length or "-",
+        )
+        if modulus <= N - 3:
+            assert outcome.collision_found and outcome.cycle_accepted
+        if modulus >= N:
+            assert not outcome.collision_found
+    table.show()
+    print(
+        "threshold: attacks succeed for M < n (sub-log labels), fail at "
+        f"M >= n = {N} (log2(n) = {math.log2(N):.1f} bits)"
+    )
+
+    benchmark(_attack, 16, 1)

@@ -1,0 +1,47 @@
+"""E8 — prover and verifier runtime scaling.
+
+The prover is a centralized algorithm (quasi-linear here); the verifier
+is a single local round.  The table reports wall-clock times per n; the
+benchmark fixture times the n=256 prover.
+"""
+
+import random
+import time
+
+from repro.core import LanewidthScheme
+from repro.experiments import Table, lanewidth_workload
+from repro.pls.model import Configuration
+from repro.pls.simulator import run_verification
+
+SIZES = (64, 256, 1024)
+
+
+def _prove(n: int, seed: int):
+    sequence, graph = lanewidth_workload(3, n, seed)
+    config = Configuration.with_random_ids(graph, random.Random(seed))
+    scheme = LanewidthScheme("connected", sequence)
+    labeling = scheme.prove(config)
+    return config, scheme, labeling
+
+
+def test_e8_runtime(benchmark):
+    table = Table(
+        "E8: runtime scaling (seconds)",
+        ["n", "prove_s", "verify_s", "verify_per_vertex_ms"],
+    )
+    for n in SIZES:
+        t0 = time.perf_counter()
+        config, scheme, labeling = _prove(n, seed=n)
+        t1 = time.perf_counter()
+        result = run_verification(config, scheme, labeling)
+        t2 = time.perf_counter()
+        assert result.accepted
+        table.add(
+            n,
+            f"{t1 - t0:.3f}",
+            f"{t2 - t1:.3f}",
+            f"{1000 * (t2 - t1) / n:.2f}",
+        )
+    table.show()
+
+    benchmark(_prove, 256, 7)

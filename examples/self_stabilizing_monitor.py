@@ -1,0 +1,49 @@
+"""Self-stabilization motivation: detecting illegal network states.
+
+Local certification originates in self-stabilization (Section 1): each
+processor must detect, from local information only, whether the global
+state is legal.  This example simulates a network whose marked routing
+tree drifts (links fail and are replaced incorrectly); the spanning-tree
+proof labeling scheme localizes the fault — some vertex near the damage
+rejects, triggering recovery.
+
+Run:  python examples/self_stabilizing_monitor.py
+"""
+
+import random
+
+from repro.graphs.generators import random_pathwidth_graph
+from repro.pls.classic import TREE_MARK, SpanningTreeScheme
+from repro.pls.model import Configuration
+from repro.pls.simulator import prove_and_verify, run_verification
+
+
+def main() -> None:
+    rng = random.Random(42)
+    graph, _bags = random_pathwidth_graph(30, 2, rng)
+    tree = graph.spanning_tree(0)
+    for u, v in tree.edges():
+        graph.set_edge_label(u, v, TREE_MARK)
+    config = Configuration.with_random_ids(graph, rng)
+    scheme = SpanningTreeScheme()
+    labeling, result = prove_and_verify(config, scheme)
+    print(f"legal state: routing tree certified = {result.accepted}")
+
+    # Fault: a tree link is unmarked and a random non-tree link is marked
+    # instead — the classic drift a self-stabilizing protocol must catch.
+    tree_edges = [e for e in graph.edges() if graph.edge_label(*e) == TREE_MARK]
+    other_edges = [e for e in graph.edges() if graph.edge_label(*e) != TREE_MARK]
+    lost = tree_edges[rng.randrange(len(tree_edges))]
+    gained = other_edges[rng.randrange(len(other_edges))]
+    graph.set_edge_label(*lost, None)
+    graph.set_edge_label(*gained, TREE_MARK)
+    print(f"fault injected: unmarked {lost}, marked {gained}")
+
+    result = run_verification(config, scheme, labeling)
+    print(f"verification now accepts: {result.accepted}")
+    print(f"fault localized at vertices: {result.rejecting_vertices}")
+    print("a self-stabilizing controller would reset exactly this region")
+
+
+if __name__ == "__main__":
+    main()

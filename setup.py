@@ -1,0 +1,7 @@
+"""Legacy setup shim: the execution environment has no `wheel` package and
+no network, so PEP 517 editable installs are unavailable; this enables
+`pip install -e . --no-build-isolation` via `setup.py develop`."""
+
+from setuptools import setup
+
+setup()

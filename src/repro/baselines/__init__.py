@@ -1,0 +1,6 @@
+"""Baselines: the FMRT'24 O(log^2 n) scheme and the universal scheme."""
+
+from repro.baselines.fmrt import FMRTScheme
+from repro.baselines.universal import UniversalScheme
+
+__all__ = ["FMRTScheme", "UniversalScheme"]

@@ -1,0 +1,221 @@
+"""The FMRT'24-style baseline: O(log^2 n)-bit labels via balanced
+tree decompositions.
+
+Fraigniaud, Montealegre, Rapaport, and Todinca certify MSO2 properties on
+bounded-treewidth graphs by (1) rebalancing the decomposition to depth
+O(log n) at 3x width (Section 3 of our paper recalls this), and (2)
+storing, in each vertex's label, one record per ancestor bag of its home
+bag: the bag's contents and the homomorphism class of the subtree hanging
+below it.  Θ(log n) ancestors × Θ(log n) bits per record gives the
+Θ(log^2 n) label size that Theorem 1 improves to Θ(log n).
+
+This implementation is the label-size comparator for experiment E2: the
+prover and the size accounting are faithful; the verifier performs the
+per-vertex consistency checks (home-bag membership, root-path prefix
+agreement with neighbors, root class acceptance) sufficient for the
+completeness and measurement experiments — the full soundness argument of
+FMRT'24 routes information along the decomposition with O(log n)
+congestion, which is precisely the overhead the paper eliminates, and is
+out of scope here (DESIGN.md records the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.courcelle.algebra import BoundedAlgebra
+from repro.courcelle.boundary import REAL
+from repro.courcelle.registry import algebra_for
+from repro.pathwidth.balanced import balanced_binary_decomposition
+from repro.pathwidth.exact import exact_path_decomposition
+from repro.pathwidth.heuristics import heuristic_path_decomposition
+from repro.pls.bits import ClassIndexer, SizeContext
+from repro.pls.model import Configuration, LocalView
+from repro.pls.scheme import Labeling, ProofLabelingScheme, ProverFailure
+
+
+@dataclass(frozen=True)
+class BagRecord:
+    """One ancestor bag in a vertex's label."""
+
+    node: int  # decomposition node serial
+    parent: int  # parent serial (-1 at the root)
+    bag_ids: tuple  # identifiers of the bag's vertices
+    subtree_class: object  # homomorphism class of the graph below this bag
+
+
+@dataclass(frozen=True)
+class FMRTLabel:
+    """Root-path records for one vertex (root first)."""
+
+    records: tuple
+    home: int  # serial of the vertex's home bag
+
+
+def _default_decomposer(graph):
+    if graph.n <= 14:
+        return exact_path_decomposition(graph)
+    return heuristic_path_decomposition(graph)
+
+
+class FMRTScheme(ProofLabelingScheme):
+    """Certify ``φ ∧ (width ≤ k)`` with Θ(log² n) vertex labels."""
+
+    label_location = "vertices"
+
+    def __init__(self, algebra, k: int, decomposer: Optional[Callable] = None):
+        if isinstance(algebra, str):
+            algebra = algebra_for(algebra)
+        if not isinstance(algebra, BoundedAlgebra):
+            raise TypeError("algebra must be a BoundedAlgebra or registry key")
+        self.algebra = algebra
+        self.k = k
+        self.decomposer = decomposer or _default_decomposer
+
+    # ------------------------------------------------------------------
+    def prove(self, config: Configuration) -> Labeling:
+        graph = config.graph
+        if not graph.is_connected() or graph.n < 2:
+            raise ProverFailure("need a connected graph on >= 2 vertices")
+        decomposition = self.decomposer(graph)
+        if decomposition.width() > self.k:
+            raise ProverFailure("no decomposition within the width bound")
+        balanced = balanced_binary_decomposition(decomposition)
+
+        # Assign every edge to its deepest covering node; run the DP.
+        order = balanced.topological_order()
+        depth_of = {balanced.root: 0}
+        for node in order:
+            for child in balanced.children[node]:
+                depth_of[child] = depth_of[node] + 1
+        edge_home: dict = {}
+        for u, v in graph.edges():
+            best = None
+            for node in order:
+                bag = set(balanced.bags[node])
+                if u in bag and v in bag:
+                    if best is None or depth_of[node] > depth_of[best]:
+                        best = node
+            edge_home[(u, v)] = best
+
+        indexer = ClassIndexer()
+        subtree_state: dict = {}
+        subtree_boundary: dict = {}
+
+        def solve(node) -> None:
+            bag = list(balanced.bags[node])
+            state = self.algebra.new_vertices(len(bag))
+            boundary = list(bag)
+            for u, v in graph.edges():
+                if edge_home[(u, v)] == node:
+                    state = self.algebra.add_edge(
+                        state, boundary.index(u), boundary.index(v), REAL
+                    )
+            for child in balanced.children[node]:
+                solve(child)
+                child_boundary = subtree_boundary[child]
+                shared = [x for x in child_boundary if x in boundary]
+                identify = tuple(
+                    (boundary.index(x), child_boundary.index(x)) for x in shared
+                )
+                state = self.algebra.join(
+                    state,
+                    len(boundary),
+                    subtree_state[child],
+                    len(child_boundary),
+                    identify,
+                )
+                extra = [x for x in child_boundary if x not in boundary]
+                merged = boundary + extra
+                keep = tuple(merged.index(x) for x in bag)
+                state = self.algebra.forget(state, len(merged), keep)
+                boundary = list(bag)
+            subtree_state[node] = state
+            subtree_boundary[node] = boundary
+            indexer.index_of(self.algebra.state_fingerprint(state))
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * len(order) + 100))
+        try:
+            solve(balanced.root)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        root_state = subtree_state[balanced.root]
+        if not self.algebra.accepts(root_state, len(subtree_boundary[balanced.root])):
+            raise ProverFailure("property does not hold")
+
+        # Home bag per vertex: its deepest occurrence.
+        home: dict = {}
+        for node in order:
+            for v in balanced.bags[node]:
+                if v not in home or depth_of[node] > depth_of[home[v]]:
+                    home[v] = node
+        serial = {node: i for i, node in enumerate(order)}
+        mapping = {}
+        for v in graph.vertices():
+            records = []
+            for node in balanced.root_path(home[v]):
+                parent = balanced.parent[node]
+                records.append(
+                    BagRecord(
+                        node=serial[node],
+                        parent=-1 if parent is None else serial[parent],
+                        bag_ids=tuple(
+                            sorted(config.ids[x] for x in balanced.bags[node])
+                        ),
+                        subtree_class=subtree_state[node],
+                    )
+                )
+            mapping[v] = FMRTLabel(records=tuple(records), home=serial[home[v]])
+        ctx = SizeContext(config.n, class_count=indexer.class_count)
+        return Labeling("vertices", mapping, ctx)
+
+    # ------------------------------------------------------------------
+    def verify(self, view: LocalView) -> bool:
+        label = view.own_certificate
+        if not isinstance(label, FMRTLabel) or not label.records:
+            return False
+        # Own id in the home bag; parent chain well-formed; root consistent.
+        if view.identifier not in label.records[-1].bag_ids:
+            return False
+        if label.records[-1].node != label.home:
+            return False
+        if label.records[0].parent != -1:
+            return False
+        for above, below in zip(label.records, label.records[1:]):
+            if below.parent != above.node:
+                return False
+        root = label.records[0]
+        if not self.algebra.accepts(root.subtree_class, len(root.bag_ids)):
+            return False
+        for neighbor in view.neighbor_certificates:
+            if not isinstance(neighbor, FMRTLabel) or not neighbor.records:
+                return False
+            if neighbor.records[0] != root:
+                return False
+            # Shared root-path prefixes must agree record-for-record.
+            for mine_r, theirs_r in zip(label.records, neighbor.records):
+                if mine_r.node != theirs_r.node:
+                    break
+                if mine_r != theirs_r:
+                    return False
+        return True
+        # Note: the bag covering an edge need not lie on either endpoint's
+        # root path, so full edge-coverage verification requires the
+        # O(log n)-congestion routing of FMRT'24 — out of scope for this
+        # size-comparator baseline (see the module docstring).
+
+    # ------------------------------------------------------------------
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        if not isinstance(label, FMRTLabel):
+            return ctx.id_bits
+        total = ctx.counter_bits  # home pointer
+        for record in label.records:
+            total += 2 * ctx.counter_bits  # node + parent serials
+            total += len(record.bag_ids) * ctx.id_bits
+            total += ctx.class_bits
+        return total

@@ -1,0 +1,71 @@
+"""The universal baseline: ship the whole graph in every label.
+
+Any decidable property admits a Θ(m log n)-bit scheme — every vertex
+receives the full edge list (as identifier pairs), checks that its own
+incident edges match the claim, that all neighbors hold the identical
+description, and evaluates the property centrally on the claimed graph.
+This calibrates how far both the Theorem 1 scheme and the FMRT baseline
+sit below the trivial upper bound (experiment E2's third column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs import Graph
+from repro.pls.bits import SizeContext
+from repro.pls.model import Configuration, LocalView
+from repro.pls.scheme import Labeling, ProofLabelingScheme, ProverFailure
+
+
+@dataclass(frozen=True)
+class UniversalLabel:
+    """The full configuration as identifier lists."""
+
+    vertex_ids: tuple
+    edge_ids: tuple  # sorted (id_u, id_v) pairs
+
+
+class UniversalScheme(ProofLabelingScheme):
+    """Θ(m log n)-bit certification of an arbitrary property."""
+
+    label_location = "vertices"
+
+    def __init__(self, checker: Callable[[Graph], bool]):
+        self.checker = checker
+
+    def prove(self, config: Configuration) -> Labeling:
+        if not self.checker(config.graph):
+            raise ProverFailure("property does not hold")
+        vertex_ids = tuple(sorted(config.ids[v] for v in config.graph.vertices()))
+        edge_ids = tuple(
+            sorted(
+                tuple(sorted((config.ids[u], config.ids[v])))
+                for u, v in config.graph.edges()
+            )
+        )
+        label = UniversalLabel(vertex_ids=vertex_ids, edge_ids=edge_ids)
+        mapping = {v: label for v in config.graph.vertices()}
+        return Labeling("vertices", mapping, SizeContext(config.n))
+
+    def verify(self, view: LocalView) -> bool:
+        label = view.own_certificate
+        if not isinstance(label, UniversalLabel):
+            return False
+        if any(c != label for c in view.neighbor_certificates):
+            return False
+        if view.identifier not in label.vertex_ids:
+            return False
+        claimed_degree = sum(
+            1 for pair in label.edge_ids if view.identifier in pair
+        )
+        if claimed_degree != view.degree:
+            return False
+        claimed = Graph(vertices=label.vertex_ids, edges=label.edge_ids)
+        return bool(self.checker(claimed))
+
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        if not isinstance(label, UniversalLabel):
+            return ctx.id_bits
+        return (len(label.vertex_ids) + 2 * len(label.edge_ids)) * ctx.id_bits

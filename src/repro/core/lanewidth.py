@@ -1,0 +1,251 @@
+"""Lanewidth (Definition 5.1) and Proposition 5.2.
+
+A graph has lanewidth ``w`` when it can be built from a ``w``-vertex path
+``(τ_1, ..., τ_w)`` by ``V-insert(i)`` (add a vertex joined to the lane-i
+designated vertex, which it replaces) and ``E-insert(i, j)`` (add an edge
+between the designated vertices of lanes ``i`` and ``j``).
+
+Proposition 5.2 makes lanewidth the bridge between Section 4 and
+Section 5: a graph has lanewidth ``<= w`` iff it is the completion of some
+``w``-lane partition.  :func:`construction_sequence_from_completion`
+implements the constructive direction used by the Theorem 1 prover — sort
+vertices by ``L_v`` and original edges by ``max(L_u, L_v)``, vertices
+first on ties, then emit V-inserts for lane successions and E-inserts for
+original edges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.completion import CompletionResult
+from repro.courcelle.boundary import REAL, VIRTUAL
+from repro.graphs import Graph, edge_key
+
+
+@dataclass
+class ConstructionSequence:
+    """A lanewidth-``width`` build plan with tagged edges.
+
+    ``ops`` entries:
+
+    * ``("V", lane, new_vertex, tag)`` — V-insert of ``new_vertex`` on
+      ``lane``; the edge to the previous designated vertex carries ``tag``;
+    * ``("E", lane_i, lane_j, tag)`` — E-insert between two lanes.
+
+    Lanes are 0-based.  Tags are :data:`REAL`/:data:`VIRTUAL` — virtual
+    edges exist only in the completion scaffolding of Theorem 1.
+    """
+
+    width: int
+    initial_vertices: tuple
+    initial_edge_tags: tuple = ()
+    ops: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ValueError("lanewidth must be at least 1")
+        if len(self.initial_vertices) != self.width:
+            raise ValueError("initial path must have exactly `width` vertices")
+        if not self.initial_edge_tags:
+            self.initial_edge_tags = tuple([VIRTUAL] * max(0, self.width - 1))
+        if len(self.initial_edge_tags) != max(0, self.width - 1):
+            raise ValueError("need one tag per initial path edge")
+
+    @property
+    def n(self) -> int:
+        return len(self.initial_vertices) + sum(
+            1 for op in self.ops if op[0] == "V"
+        )
+
+
+def apply_construction(seq: ConstructionSequence) -> Graph:
+    """Replay a construction sequence into a tagged graph.
+
+    Raises ``ValueError`` on malformed sequences (duplicate vertices,
+    E-insert between identical lanes, duplicate edges).
+    """
+    graph = Graph(vertices=seq.initial_vertices)
+    designated = {i: v for i, v in enumerate(seq.initial_vertices)}
+    for (a, b), tag in zip(
+        zip(seq.initial_vertices, seq.initial_vertices[1:]), seq.initial_edge_tags
+    ):
+        graph.add_edge(a, b)
+        graph.set_edge_label(a, b, tag)
+    for op in seq.ops:
+        if op[0] == "V":
+            _kind, lane, vertex, tag = op
+            if vertex in graph:
+                raise ValueError(f"V-insert of existing vertex {vertex!r}")
+            anchor = designated[lane]
+            graph.add_edge(vertex, anchor)
+            graph.set_edge_label(vertex, anchor, tag)
+            designated[lane] = vertex
+        elif op[0] == "E":
+            _kind, lane_i, lane_j, tag = op
+            if lane_i == lane_j:
+                raise ValueError("E-insert needs two distinct lanes")
+            u, v = designated[lane_i], designated[lane_j]
+            if graph.has_edge(u, v):
+                raise ValueError(f"E-insert duplicates edge {u!r}-{v!r}")
+            graph.add_edge(u, v)
+            graph.set_edge_label(u, v, tag)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+    return graph
+
+
+def final_designated(seq: ConstructionSequence) -> dict:
+    """Return the designated vertex of each lane after all operations."""
+    designated = {i: v for i, v in enumerate(seq.initial_vertices)}
+    for op in seq.ops:
+        if op[0] == "V":
+            designated[op[1]] = op[2]
+    return designated
+
+
+def construction_sequence_from_completion(
+    completion: CompletionResult,
+) -> ConstructionSequence:
+    """Proposition 5.2 (item 2 -> item 1): completion to insert sequence.
+
+    The initial path is the lane-head path (``E2``); each non-head vertex
+    becomes a V-insert at time ``L_v`` (its edge is the ``E1`` edge to its
+    lane predecessor); each *original* edge becomes an E-insert at time
+    ``max(L_u, L_v)``.  Vertices precede edges on ties.  The proof of
+    Proposition 5.2 guarantees each E-insert finds its endpoints
+    designated; this implementation asserts it.
+    """
+    partition = completion.lane_partition
+    rep = partition.rep
+    graph = completion.graph
+    lane_of = {}
+    predecessor = {}
+    for index, lane in enumerate(partition.lanes):
+        for pos, v in enumerate(lane):
+            lane_of[v] = index
+            if pos > 0:
+                predecessor[v] = lane[pos - 1]
+
+    heads = partition.heads()
+    initial_tags = tuple(
+        graph.edge_label(*edge_key(a, b)) for a, b in zip(heads, heads[1:])
+    )
+    completion_keys = set(completion.e1) | set(completion.e2)
+
+    vertex_events = [
+        (rep.left(v), 0, v) for v in graph.vertices() if v not in set(heads)
+    ]
+    edge_events = []
+    for u, v in graph.edges():
+        key = edge_key(u, v)
+        if key in completion_keys:
+            continue  # realized by the initial path or a V-insert
+        value = max(rep.left(u), rep.left(v))
+        edge_events.append((value, 1, key))
+    events = sorted(vertex_events + edge_events, key=lambda t: (t[0], t[1], repr(t[2])))
+
+    designated = {i: v for i, v in enumerate(heads)}
+    ops = []
+    for _value, kind, payload in events:
+        if kind == 0:
+            v = payload
+            lane = lane_of[v]
+            anchor = predecessor[v]
+            if designated[lane] != anchor:
+                raise AssertionError(
+                    f"V-insert anchor mismatch for {v!r}: designated "
+                    f"{designated[lane]!r}, lane predecessor {anchor!r}"
+                )
+            tag = graph.edge_label(*edge_key(v, anchor))
+            ops.append(("V", lane, v, tag))
+            designated[lane] = v
+        else:
+            u, v = payload
+            lane_u, lane_v = lane_of[u], lane_of[v]
+            if designated.get(lane_u) != u or designated.get(lane_v) != v:
+                raise AssertionError(
+                    f"E-insert endpoints not designated for edge {payload!r}"
+                )
+            tag = graph.edge_label(u, v)
+            ops.append(("E", lane_u, lane_v, tag))
+    return ConstructionSequence(
+        width=partition.width,
+        initial_vertices=tuple(heads),
+        initial_edge_tags=initial_tags,
+        ops=ops,
+    )
+
+
+def interval_representation_of(seq: ConstructionSequence):
+    """Proposition 5.2 (item 1 -> item 2): the time-interval representation.
+
+    Replaying the construction, each vertex's interval is the span of
+    operation indices during which it is a designated vertex, extended one
+    step past its replacement so V-insert edges overlap too (the paper's
+    rep covers the E-insert subgraph only; extending by one covers the
+    whole constructed graph at width ``<= seq.width + 1``, witnessing
+    ``pathwidth <= seq.width``).
+    """
+    from repro.pathwidth.interval import IntervalRepresentation
+
+    graph = apply_construction(seq)
+    left = {v: 0 for v in seq.initial_vertices}
+    right: dict = {}
+    time = 0
+    designated = {i: v for i, v in enumerate(seq.initial_vertices)}
+    for op in seq.ops:
+        time += 1
+        if op[0] == "V":
+            _kind, lane, vertex, _tag = op
+            right[designated[lane]] = time  # overlap with the successor
+            left[vertex] = time
+            designated[lane] = vertex
+    final_time = time
+    for vertex in designated.values():
+        right[vertex] = final_time
+    intervals = {v: (left[v], right.get(v, final_time)) for v in graph.vertices()}
+    return IntervalRepresentation(graph, intervals)
+
+
+def random_lanewidth_sequence(
+    width: int,
+    extra_vertices: int,
+    rng: Optional[random.Random] = None,
+    edge_probability: float = 0.4,
+) -> ConstructionSequence:
+    """Return a random native lanewidth-``width`` construction.
+
+    All edges are real: these are the benchmark families where the
+    Section 5/6 machinery runs without the Section 4 front end, keeping
+    expensive algebras feasible (see DESIGN.md's scope notes).
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    rng = rng or random.Random()
+    initial = tuple(range(width))
+    seq = ConstructionSequence(
+        width=width,
+        initial_vertices=initial,
+        initial_edge_tags=tuple([REAL] * (width - 1)),
+    )
+    designated = {i: i for i in range(width)}
+    present = {edge_key(a, b) for a, b in zip(initial, initial[1:])}
+    next_vertex = width
+    while next_vertex < width + extra_vertices:
+        if width >= 2 and rng.random() < edge_probability:
+            lane_i, lane_j = rng.sample(range(width), 2)
+            key = edge_key(designated[lane_i], designated[lane_j])
+            if key in present:
+                continue
+            present.add(key)
+            seq.ops.append(("E", lane_i, lane_j, REAL))
+        else:
+            lane = rng.randrange(width)
+            seq.ops.append(("V", lane, next_vertex, REAL))
+            present.add(edge_key(designated[lane], next_vertex))
+            designated[lane] = next_vertex
+            next_vertex += 1
+    return seq

@@ -1,0 +1,41 @@
+"""Concrete finite-state algebras, one per headline property of the paper."""
+
+from repro.courcelle.algebras.partition_based import (
+    AcyclicityAlgebra,
+    BipartiteAlgebra,
+    ConnectivityAlgebra,
+)
+from repro.courcelle.algebras.counters import (
+    DegreeAlgebra,
+    ParityAlgebra,
+    SizeThresholdAlgebra,
+)
+from repro.courcelle.algebras.tables import (
+    ColoringAlgebra,
+    DominatingSetAlgebra,
+    IndependentSetAlgebra,
+    PerfectMatchingAlgebra,
+    VertexCoverAlgebra,
+)
+from repro.courcelle.algebras.path_systems import (
+    HamiltonianCycleAlgebra,
+    HamiltonianPathAlgebra,
+    PathLengthAlgebra,
+)
+
+__all__ = [
+    "AcyclicityAlgebra",
+    "BipartiteAlgebra",
+    "ConnectivityAlgebra",
+    "DegreeAlgebra",
+    "ParityAlgebra",
+    "SizeThresholdAlgebra",
+    "ColoringAlgebra",
+    "DominatingSetAlgebra",
+    "IndependentSetAlgebra",
+    "PerfectMatchingAlgebra",
+    "VertexCoverAlgebra",
+    "HamiltonianCycleAlgebra",
+    "HamiltonianPathAlgebra",
+    "PathLengthAlgebra",
+]

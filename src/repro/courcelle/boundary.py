@@ -1,0 +1,332 @@
+"""Boundaried graphs: the concrete side of the homomorphism-class algebra.
+
+A *boundaried graph* is a graph with an ordered tuple of distinct boundary
+vertices (the paper's terminals after the canonical ``ξ`` mapping of
+Proposition 6.1).  Four operations generate every k-terminal / k-lane
+recursive graph:
+
+``new(count)``
+    ``count`` fresh isolated vertices, all of them boundary.
+``add_edge(a, b, tag)``
+    a new edge between boundary slots ``a`` and ``b``; ``tag`` carries the
+    edge input label (``"real"``/``"virtual"`` in the Theorem 1 pipeline).
+``join(other, identify)``
+    disjoint union, then identification of slot pairs ``(i, j)`` —
+    slot ``i`` of ``self`` is glued to slot ``j`` of ``other``.  The result
+    boundary is: all slots of ``self`` (indices unchanged), followed by the
+    non-glued slots of ``other`` in increasing order.
+``forget(keep)``
+    restrict the boundary to the slots in ``keep`` (result slot ``r`` is
+    old slot ``keep[r]``); forgotten vertices become interior and can never
+    receive new edges — exactly the paper's terminal-to-non-terminal
+    reclassification.
+
+This mirrors Definition 2.3's composition operator ``⊙`` split into
+reusable primitives; Bridge-merge and Parent-merge of Section 5 are
+expressed through them by :mod:`repro.core.hierarchy`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs import Graph
+
+REAL = "real"
+VIRTUAL = "virtual"
+
+
+@dataclass(frozen=True)
+class BoundariedGraph:
+    """An explicit graph with an ordered boundary (reference semantics)."""
+
+    graph: Graph
+    boundary: tuple
+
+    def __post_init__(self):
+        if len(set(self.boundary)) != len(self.boundary):
+            raise ValueError("boundary vertices must be distinct")
+        for v in self.boundary:
+            if v not in self.graph:
+                raise ValueError(f"boundary vertex {v!r} not in graph")
+
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.boundary)
+
+    @classmethod
+    def new(cls, count: int) -> "BoundariedGraph":
+        """Return ``count`` isolated boundary vertices named ``0..count-1``."""
+        g = Graph(vertices=range(count))
+        return cls(g, tuple(range(count)))
+
+    def add_edge(self, a: int, b: int, tag: Optional[str] = None) -> "BoundariedGraph":
+        """Return a copy with an edge between boundary slots ``a`` and ``b``."""
+        u, v = self.boundary[a], self.boundary[b]
+        if self.graph.has_edge(u, v):
+            raise ValueError(
+                f"edge between slots {a} and {b} already exists; compositions "
+                "in this model never merge or duplicate edges"
+            )
+        g = self.graph.copy()
+        g.add_edge(u, v)
+        if tag is not None:
+            g.set_edge_label(u, v, tag)
+        return BoundariedGraph(g, self.boundary)
+
+    def join(self, other: "BoundariedGraph", identify) -> "BoundariedGraph":
+        """Return the gluing of ``self`` and ``other`` along ``identify``.
+
+        ``identify`` is a sequence of ``(i, j)`` slot pairs.  Glued pairs
+        must be injective on both sides.  Gluing must not identify two
+        edges (enforced by construction: only vertices are identified, and
+        the simple-graph invariant is checked).
+        """
+        identify = tuple(identify)
+        left_slots = [i for i, _ in identify]
+        right_slots = [j for _, j in identify]
+        if len(set(left_slots)) != len(left_slots) or len(set(right_slots)) != len(
+            right_slots
+        ):
+            raise ValueError("identification must be injective on both sides")
+        # Rename other's vertices away from ours, then map glued ones onto
+        # our boundary vertices.
+        offset = 0
+        ours = set(self.graph.vertices())
+        numeric = [v for v in ours if isinstance(v, int)]
+        offset = (max(numeric) + 1) if numeric else 0
+        rename = {v: offset + idx for idx, v in enumerate(other.graph.vertices())}
+        for i, j in identify:
+            rename[other.boundary[j]] = self.boundary[i]
+        glued_targets = {self.boundary[i] for i, _ in identify}
+        renamed_vertices = list(rename.values())
+        if len(set(renamed_vertices)) != len(renamed_vertices):
+            raise ValueError("gluing map collapsed two vertices of `other`")
+        overlap = (set(renamed_vertices) - glued_targets) & ours
+        if overlap:
+            raise ValueError(f"renaming collision on {sorted(overlap)!r}")
+
+        g = self.graph.copy()
+        for v in other.graph.vertices():
+            g.add_vertex(rename[v])
+        for u, v in other.graph.edges():
+            ru, rv = rename[u], rename[v]
+            if g.has_edge(ru, rv):
+                raise ValueError(
+                    "gluing identified two edges; Parent-merge requires "
+                    "disjoint edge sets (Section 5.2)"
+                )
+            g.add_edge(ru, rv)
+            label = other.graph.edge_label(u, v)
+            if label is not None:
+                g.set_edge_label(ru, rv, label)
+        glued_right = set(right_slots)
+        new_boundary = list(self.boundary) + [
+            rename[other.boundary[j]]
+            for j in range(other.arity)
+            if j not in glued_right
+        ]
+        return BoundariedGraph(g, tuple(new_boundary))
+
+    def forget(self, keep) -> "BoundariedGraph":
+        """Return a copy whose boundary is ``[old slot k for k in keep]``."""
+        keep = tuple(keep)
+        if len(set(keep)) != len(keep):
+            raise ValueError("keep must be injective")
+        new_boundary = tuple(self.boundary[k] for k in keep)
+        return BoundariedGraph(self.graph, new_boundary)
+
+    # ------------------------------------------------------------------
+    def real_subgraph(self) -> Graph:
+        """Return the spanning subgraph of real (non-virtual) edges.
+
+        Edges tagged :data:`VIRTUAL` are completion scaffolding; the MSO
+        property of Theorem 1 is evaluated on the real edges only.
+        """
+        real_edges = [
+            (u, v)
+            for u, v in self.graph.edges()
+            if self.graph.edge_label(u, v) != VIRTUAL
+        ]
+        return self.graph.edge_subgraph(real_edges)
+
+    def __repr__(self) -> str:
+        return f"BoundariedGraph(n={self.graph.n}, m={self.graph.m}, arity={self.arity})"
+
+
+# ----------------------------------------------------------------------
+# Operation sequences (for property-based algebra validation)
+# ----------------------------------------------------------------------
+class OpSequence:
+    """A replayable sequence of boundaried-graph operations.
+
+    Ops are tuples:
+
+    * ``("new", count)`` — push a fresh boundaried graph;
+    * ``("edge", a, b, tag)`` — add an edge on the top of stack;
+    * ``("join", identify)`` — pop two, push their join;
+    * ``("forget", keep)`` — reboundary the top of stack.
+
+    The sequence is evaluated on a stack, which lets the test suite replay
+    the same ops through the reference :class:`BoundariedGraph` semantics
+    and through any finite-state algebra, then compare acceptance.
+    """
+
+    def __init__(self, ops: list) -> None:
+        self.ops = list(ops)
+
+    def run_reference(self) -> BoundariedGraph:
+        """Replay on explicit boundaried graphs; return the final one."""
+        stack: list = []
+        for op in self.ops:
+            if op[0] == "new":
+                stack.append(BoundariedGraph.new(op[1]))
+            elif op[0] == "edge":
+                stack.append(stack.pop().add_edge(op[1], op[2], op[3]))
+            elif op[0] == "join":
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(left.join(right, op[1]))
+            elif op[0] == "forget":
+                stack.append(stack.pop().forget(op[1]))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        if len(stack) != 1:
+            raise ValueError(f"sequence left {len(stack)} graphs on the stack")
+        return stack[0]
+
+    def run_algebra(self, algebra) -> tuple:
+        """Replay through ``algebra``; return ``(state, arity)``."""
+        stack: list = []
+        for op in self.ops:
+            if op[0] == "new":
+                stack.append((algebra.new_vertices(op[1]), op[1]))
+            elif op[0] == "edge":
+                state, arity = stack.pop()
+                stack.append((algebra.add_edge(state, op[1], op[2], op[3]), arity))
+            elif op[0] == "join":
+                state2, arity2 = stack.pop()
+                state1, arity1 = stack.pop()
+                identify = tuple(op[1])
+                new_arity = arity1 + arity2 - len(identify)
+                stack.append(
+                    (algebra.join(state1, arity1, state2, arity2, identify), new_arity)
+                )
+            elif op[0] == "forget":
+                state, arity = stack.pop()
+                keep = tuple(op[1])
+                stack.append((algebra.forget(state, arity, keep), len(keep)))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        if len(stack) != 1:
+            raise ValueError(f"sequence left {len(stack)} states on the stack")
+        return stack[0]
+
+
+def random_op_sequence(
+    rng: random.Random,
+    max_new: int = 4,
+    steps: int = 12,
+    virtual_probability: float = 0.0,
+) -> OpSequence:
+    """Generate a random valid op sequence (for differential testing).
+
+    The generator tracks arities so every emitted op is well-formed.  The
+    final graph may be disconnected and of any shape — exactly what the
+    algebra contract must withstand.
+    """
+    ops: list = []
+    stack: list = []  # arities; edge bookkeeping to avoid duplicate edges
+    edges: list = []  # per stack entry: set of (slot_a, slot_b) existing edges
+
+    def push_new():
+        count = rng.randint(1, max_new)
+        ops.append(("new", count))
+        stack.append(count)
+        edges.append(set())
+
+    push_new()
+    for _ in range(steps):
+        moves = ["new", "edge", "forget"]
+        if len(stack) >= 2:
+            moves.append("join")
+            moves.append("join")
+        move = rng.choice(moves)
+        if move == "new":
+            push_new()
+        elif move == "edge":
+            arity = stack[-1]
+            if arity < 2:
+                continue
+            a, b = rng.sample(range(arity), 2)
+            key = (min(a, b), max(a, b))
+            if key in edges[-1]:
+                continue
+            tag = VIRTUAL if rng.random() < virtual_probability else REAL
+            ops.append(("edge", a, b, tag))
+            edges[-1].add(key)
+        elif move == "forget":
+            arity = stack[-1]
+            if arity <= 1:
+                continue
+            new_size = rng.randint(1, arity)
+            keep = tuple(sorted(rng.sample(range(arity), new_size)))
+            ops.append(("forget", keep))
+            # Edge bookkeeping: remap slot-indexed edges; edges touching
+            # forgotten slots stay in the graph but can no longer collide
+            # with future slot pairs, so drop them from bookkeeping.
+            remap = {old: new for new, old in enumerate(keep)}
+            edges[-1] = {
+                (min(remap[a], remap[b]), max(remap[a], remap[b]))
+                for a, b in edges[-1]
+                if a in remap and b in remap
+            }
+            stack[-1] = new_size
+        elif move == "join":
+            arity2 = stack.pop()
+            edges2 = edges.pop()
+            arity1 = stack.pop()
+            edges1 = edges.pop()
+            max_glue = min(arity1, arity2)
+            glue_count = rng.randint(0, max_glue)
+            left = rng.sample(range(arity1), glue_count)
+            right = rng.sample(range(arity2), glue_count)
+            identify = tuple(zip(left, right))
+            # Result slots: G1 slots unchanged, then unglued G2 slots.
+            glued_right = {j for _, j in identify}
+            right_map = {}
+            next_slot = arity1
+            glue_map = dict((j, i) for i, j in identify)
+            for j in range(arity2):
+                if j in glued_right:
+                    right_map[j] = glue_map[j]
+                else:
+                    right_map[j] = next_slot
+                    next_slot += 1
+            mapped_edges2 = {
+                (min(right_map[a], right_map[b]), max(right_map[a], right_map[b]))
+                for a, b in edges2
+            }
+            if mapped_edges2 & edges1:
+                # Gluing would identify two edges — invalid join; restore
+                # the stack and pick another move next iteration.
+                stack.extend([arity1, arity2])
+                edges.extend([edges1, edges2])
+                continue
+            ops.append(("join", identify))
+            stack.append(arity1 + arity2 - glue_count)
+            edges.append(edges1 | mapped_edges2)
+    # Collapse the stack to a single graph with edge-free joins.
+    while len(stack) > 1:
+        arity2 = stack.pop()
+        edges2 = edges.pop()
+        arity1 = stack.pop()
+        edges1 = edges.pop()
+        ops.append(("join", ()))
+        remapped = {(a + arity1, b + arity1) for a, b in edges2}
+        stack.append(arity1 + arity2)
+        edges.append(set(edges1) | remapped)
+    return OpSequence(ops)

@@ -1,0 +1,16 @@
+"""Experiment harness shared by the ``benchmarks/`` suite."""
+
+from repro.experiments.reporting import Table, fit_log_slope
+from repro.experiments.workloads import (
+    lanewidth_workload,
+    pathwidth_workload,
+    property_truth,
+)
+
+__all__ = [
+    "Table",
+    "fit_log_slope",
+    "lanewidth_workload",
+    "pathwidth_workload",
+    "property_truth",
+]

@@ -1,0 +1,70 @@
+"""Plain-text tables and series for the benchmark reports.
+
+The paper has no experimental tables of its own (it is a theory paper);
+these helpers print the tables and figure-style series defined in
+DESIGN.md Section 9 in a stable, grep-friendly format:
+
+    == E1: label size scaling ==
+    | w | n | property | max_bits | bits/log2(n) |
+    ...
+    series: E1-w3-connected (32, 812) (64, 934) ...
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Table:
+    """A printable experiment table with an optional series dump."""
+
+    def __init__(self, title: str, columns: list):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list = []
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError("row width mismatch")
+        self.rows.append([str(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        def line(cells):
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        out = [f"== {self.title} =="]
+        out.append(line(self.columns))
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in self.rows:
+            out.append(line(row))
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def series(name: str, points: list) -> str:
+    """Render one figure series as a single grep-friendly line."""
+    body = " ".join(f"({x}, {y})" for x, y in points)
+    return f"series: {name} {body}"
+
+
+def fit_log_slope(points: list) -> float:
+    """Least-squares slope of ``y`` against ``log2 x``.
+
+    A Θ(log n) quantity gives a stable positive slope with small curvature;
+    a Θ(log² n) quantity gives a slope that itself grows ~log n.  The
+    benchmarks report both slopes and raw series so the shape claims can be
+    eyeballed and asserted.
+    """
+    xs = [math.log2(x) for x, _y in points]
+    ys = [float(y) for _x, y in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0

@@ -1,0 +1,35 @@
+"""Workload generators for the evaluation (DESIGN.md Section 9)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import apply_construction, random_lanewidth_sequence
+from repro.graphs.generators import random_pathwidth_graph
+from repro.mso.properties import is_bipartite
+from repro.pathwidth import PathDecomposition
+
+
+def lanewidth_workload(width: int, n_target: int, seed: int):
+    """Return ``(sequence, graph)`` with ~``n_target`` vertices."""
+    rng = random.Random(seed)
+    extra = max(0, n_target - width)
+    sequence = random_lanewidth_sequence(width, extra, rng)
+    return sequence, apply_construction(sequence)
+
+
+def pathwidth_workload(n: int, k: int, seed: int):
+    """Return ``(graph, decomposition)`` with witness width <= k."""
+    rng = random.Random(seed)
+    graph, bags = random_pathwidth_graph(n, k, rng)
+    return graph, PathDecomposition(graph, bags)
+
+
+def property_truth(graph) -> dict:
+    """Ground truth for the cheap benchmark properties."""
+    return {
+        "connected": graph.is_connected(),
+        "acyclic": graph.is_forest(),
+        "bipartite": is_bipartite(graph),
+        "even-order": graph.n % 2 == 0,
+    }

@@ -1,0 +1,25 @@
+"""Graph substrate: core data structures, generators, and minor testing.
+
+This package is the bottom layer of the reproduction.  Everything above it
+(path decompositions, lane partitions, proof labeling schemes) manipulates
+:class:`repro.graphs.Graph` objects.  The implementation is self-contained:
+no third-party graph library is used by the algorithms themselves.
+"""
+
+from repro.graphs.graph import Graph, edge_key
+from repro.graphs.degeneracy import degeneracy_ordering, orient_by_degeneracy
+from repro.graphs.minors import (
+    contains_minor,
+    is_minor_free,
+    find_minor_model,
+)
+
+__all__ = [
+    "Graph",
+    "edge_key",
+    "degeneracy_ordering",
+    "orient_by_degeneracy",
+    "contains_minor",
+    "is_minor_free",
+    "find_minor_model",
+]

@@ -1,0 +1,304 @@
+"""Graph generators for every workload family in the evaluation.
+
+Two kinds of generators live here:
+
+* **classic families** (paths, cycles, stars, caterpillars, spiders,
+  ladders, trees) used throughout the paper's narrative — paths vs. cycles
+  drive the Omega(log n) lower bound, caterpillars are exactly the
+  pathwidth-1 graphs, ladders have pathwidth 2;
+* **random families with a known path decomposition**: the sliding-window
+  construction returns the witness decomposition alongside the graph so
+  large instances never require solving the NP-hard pathwidth problem.
+
+Lanewidth-based families (random ``V-insert``/``E-insert`` constructions,
+Definition 5.1) live in :mod:`repro.core.lanewidth` next to the construction
+semantics they exercise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional
+
+from repro.graphs.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path on vertices ``0..n-1`` (pathwidth 1 for n >= 2)."""
+    if n < 1:
+        raise ValueError("path needs at least one vertex")
+    return Graph(vertices=range(n), edges=((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle on vertices ``0..n-1`` (pathwidth 2)."""
+    if n < 3:
+        raise ValueError("cycle needs at least three vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """Return the star ``K_{1,leaves}`` with center ``0``."""
+    if leaves < 0:
+        raise ValueError("leaves must be non-negative")
+    return Graph(vertices=range(leaves + 1), edges=((0, i) for i in range(1, leaves + 1)))
+
+
+def complete_graph(n: int) -> Graph:
+    """Return ``K_n`` (pathwidth n-1)."""
+    if n < 1:
+        raise ValueError("complete graph needs at least one vertex")
+    return Graph(vertices=range(n), edges=itertools.combinations(range(n), 2))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Return ``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise ValueError("both sides must be non-empty")
+    return Graph(
+        vertices=range(a + b),
+        edges=((i, a + j) for i in range(a) for j in range(b)),
+    )
+
+
+def ladder_graph(rungs: int) -> Graph:
+    """Return the 2 x rungs ladder (pathwidth 2 for rungs >= 2).
+
+    Rails are ``0..rungs-1`` and ``rungs..2*rungs-1``; rung ``i`` joins
+    ``i`` to ``rungs + i``.
+    """
+    if rungs < 1:
+        raise ValueError("ladder needs at least one rung")
+    g = Graph(vertices=range(2 * rungs))
+    for i in range(rungs - 1):
+        g.add_edge(i, i + 1)
+        g.add_edge(rungs + i, rungs + i + 1)
+    for i in range(rungs):
+        g.add_edge(i, rungs + i)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the rows x cols grid (pathwidth min(rows, cols))."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    g = Graph(vertices=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """Return a caterpillar: a spine path with pendant legs (pathwidth 1).
+
+    Spine vertices are ``0..spine-1``; legs are numbered from ``spine`` on.
+    """
+    if spine < 1:
+        raise ValueError("caterpillar needs a spine vertex")
+    if legs_per_vertex < 0:
+        raise ValueError("legs_per_vertex must be non-negative")
+    g = path_graph(spine)
+    next_vertex = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(s, next_vertex)
+            next_vertex += 1
+    return g
+
+
+def spider_graph(legs: int, leg_length: int) -> Graph:
+    """Return a spider: ``legs`` paths of ``leg_length`` edges from center 0.
+
+    The spider S(2,2,2) (3 legs of length 2) is, with K_3, one of the two
+    minor obstructions for pathwidth 1; it appears in the Corollary 1.2
+    experiments.
+    """
+    if legs < 1 or leg_length < 1:
+        raise ValueError("spider needs legs of positive length")
+    g = Graph(vertices=[0])
+    next_vertex = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            g.add_edge(prev, next_vertex)
+            prev = next_vertex
+            next_vertex += 1
+    return g
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """Return the complete binary tree of the given depth (heap indexing)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    g = Graph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    return g
+
+
+def random_tree(n: int, rng: Optional[random.Random] = None) -> Graph:
+    """Return a uniformly random labeled tree on ``0..n-1`` (Prufer)."""
+    if n < 1:
+        raise ValueError("tree needs at least one vertex")
+    rng = rng or random.Random()
+    if n == 1:
+        return Graph(vertices=[0])
+    if n == 2:
+        return Graph(vertices=[0, 1], edges=[(0, 1)])
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    g = Graph(vertices=range(n))
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    g.add_edge(u, w)
+    return g
+
+
+def random_caterpillar(
+    n: int, rng: Optional[random.Random] = None, leg_probability: float = 0.5
+) -> Graph:
+    """Return a random caterpillar on ``n`` vertices (pathwidth <= 1)."""
+    if n < 1:
+        raise ValueError("caterpillar needs at least one vertex")
+    rng = rng or random.Random()
+    g = Graph(vertices=[0])
+    spine = [0]
+    for v in range(1, n):
+        if rng.random() < leg_probability:
+            g.add_edge(v, rng.choice(spine))  # pendant leg
+        else:
+            g.add_edge(v, spine[-1])  # extend the spine
+            spine.append(v)
+    return g
+
+
+def random_connected_gnp(
+    n: int, p: float, rng: Optional[random.Random] = None, max_tries: int = 200
+) -> Graph:
+    """Return a connected G(n, p) sample (rejection + tree patching).
+
+    If ``max_tries`` rejections all fail, a random spanning tree is added to
+    the last sample so the function always terminates with a connected graph.
+    """
+    if n < 1:
+        raise ValueError("graph needs at least one vertex")
+    rng = rng or random.Random()
+    g = Graph(vertices=range(n))
+    for _ in range(max_tries):
+        g = Graph(vertices=range(n))
+        for u, v in itertools.combinations(range(n), 2):
+            if rng.random() < p:
+                g.add_edge(u, v)
+        if g.is_connected():
+            return g
+    tree = random_tree(n, rng)
+    for u, v in tree.edges():
+        g.add_edge(u, v)
+    return g
+
+
+def random_pathwidth_graph(
+    n: int,
+    k: int,
+    rng: Optional[random.Random] = None,
+    extra_edge_probability: float = 0.5,
+    churn: float = 0.5,
+) -> tuple:
+    """Return ``(graph, bags)`` — a connected graph with pathwidth <= k.
+
+    The construction maintains a sliding *active window* of at most ``k + 1``
+    vertices.  Each new vertex evicts random window members (rate ``churn``),
+    joins the window, connects to at least one current member (so the result
+    is connected), and picks extra window edges with probability
+    ``extra_edge_probability``.  The recorded window snapshots form a valid
+    path decomposition of width <= k: every vertex's window membership is a
+    contiguous interval (evicted vertices never return), and every edge is
+    created inside some window.
+
+    Returns
+    -------
+    (Graph, list[list[vertex]]):
+        the graph and the witness bags, ready for
+        :class:`repro.pathwidth.PathDecomposition`.
+    """
+    if n < 1:
+        raise ValueError("graph needs at least one vertex")
+    if k < 1:
+        raise ValueError("pathwidth bound must be >= 1")
+    rng = rng or random.Random()
+    g = Graph(vertices=[0])
+    window = [0]
+    bags = [list(window)]
+    for v in range(1, n):
+        while len(window) > 1 and (len(window) > k or rng.random() < churn):
+            window.pop(rng.randrange(len(window)))
+        anchor = rng.choice(window)
+        g.add_edge(v, anchor)
+        for u in window:
+            if u != anchor and rng.random() < extra_edge_probability:
+                g.add_edge(v, u)
+        window.append(v)
+        bags.append(list(window))
+    return g, bags
+
+
+def enumerate_graphs(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """Yield every labeled graph on ``0..n-1`` (use only for small ``n``).
+
+    There are ``2^(n(n-1)/2)`` labeled graphs, so this is intended for
+    exhaustive cross-validation with ``n <= 5`` and sampled use at ``n = 6``.
+    """
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    pairs = list(itertools.combinations(range(n), 2))
+    for mask in range(2 ** len(pairs)):
+        g = Graph(vertices=range(n))
+        for bit, (u, v) in enumerate(pairs):
+            if mask >> bit & 1:
+                g.add_edge(u, v)
+        if connected_only and not g.is_connected():
+            continue
+        yield g
+
+
+def assign_random_ids(
+    graph: Graph, rng: Optional[random.Random] = None, universe_bits: int = 32
+) -> dict:
+    """Return a random injective ID assignment ``vertex -> int``.
+
+    The PLS model gives every vertex a distinct O(log n)-bit identifier that
+    the prover cannot choose; sampling from a ``universe_bits``-bit space
+    models that adversarial freedom in soundness experiments.
+    """
+    rng = rng or random.Random()
+    universe = 2**universe_bits
+    ids: set = set()
+    assignment = {}
+    for v in graph.vertices():
+        x = rng.randrange(universe)
+        while x in ids:
+            x = rng.randrange(universe)
+        ids.add(x)
+        assignment[v] = x
+    return assignment

@@ -1,0 +1,267 @@
+"""Brute-force minor containment testing.
+
+Corollary 1.2 certifies ``F``-minor-freeness for forests ``F``.  The
+experiments need ground truth: given a candidate graph and a small pattern,
+does the pattern occur as a minor?  A *minor model* of ``H`` in ``G`` maps
+every vertex of ``H`` to a non-empty connected *branch set* in ``G``, with
+pairwise-disjoint branch sets, such that every edge of ``H`` has some
+``G``-edge between the two corresponding branch sets.
+
+The search below enumerates branch sets by canonical backtracking (every
+branch set is generated exactly once, rooted at its minimum vertex) with
+budget and adjacency pruning.  Deciding minor containment is NP-hard for
+pattern-as-input, so negative instances are exponential by nature; the
+evaluation keeps ground-truth hosts small (<= ~16 vertices) and relies on
+generator guarantees for larger graphs.  Structural shortcuts handle the
+common patterns (K_3 = cycle test, paths = longest-path test, stars =
+connected-set neighborhood test) exactly and quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.graphs.graph import Graph
+
+
+def _branch_sets_touch(graph: Graph, a: frozenset, b: frozenset) -> bool:
+    """Return whether any G-edge joins branch sets ``a`` and ``b``."""
+    smaller, larger = (a, b) if len(a) <= len(b) else (b, a)
+    return any(not graph.neighbors(v).isdisjoint(larger) for v in smaller)
+
+
+def _connected_subsets_rooted(
+    graph: Graph, seed, available: frozenset, max_size: int
+) -> Iterator[frozenset]:
+    """Yield connected subsets of ``available`` whose minimum vertex is ``seed``.
+
+    Each subset is produced exactly once.  Enumeration uses the standard
+    "forbidden frontier" technique: children of a search node extend the
+    subset with one allowed frontier vertex and forbid the frontier
+    vertices skipped before it, which partitions the search space.
+    """
+    extendable = frozenset(v for v in available if v > seed)
+
+    def expand(subset: frozenset, extension: frozenset, forbidden: frozenset):
+        yield subset
+        if len(subset) >= max_size:
+            return
+        banned = set(forbidden)
+        for v in sorted(extension):
+            if v in banned:
+                continue
+            new_neighbors = {
+                w
+                for w in graph.neighbors(v)
+                if w in extendable and w not in subset and w not in banned
+            }
+            new_extension = (extension - frozenset(banned) - {v}) | new_neighbors
+            yield from expand(subset | {v}, frozenset(new_extension), frozenset(banned))
+            banned.add(v)
+
+    initial = frozenset(w for w in graph.neighbors(seed) if w in extendable)
+    yield from expand(frozenset([seed]), initial, frozenset())
+
+
+def find_minor_model(graph: Graph, pattern: Graph) -> Optional[dict]:
+    """Return a minor model of ``pattern`` in ``graph`` or ``None``.
+
+    The model is a dict ``pattern_vertex -> frozenset(graph vertices)``.
+    """
+    if pattern.n == 0:
+        return {}
+    if pattern.n > graph.n or pattern.m > graph.m:
+        return None
+
+    # Assign pattern vertices in BFS order per component (starting from a
+    # max-degree vertex): every non-first vertex then has an already-placed
+    # pattern neighbor, so its branch set is adjacency-constrained, which is
+    # the main source of pruning.
+    pattern_order = []
+    for component in pattern.connected_components():
+        start = max(component, key=pattern.degree)
+        sub = pattern.induced_subgraph(component)
+        pattern_order.extend(sub.bfs_order(start))
+    all_vertices = frozenset(graph.vertices())
+
+    def backtrack(index: int, used: frozenset, model: dict) -> Optional[dict]:
+        if index == len(pattern_order):
+            return dict(model)
+        h = pattern_order[index]
+        needed = [p for p in pattern_order[:index] if pattern.has_edge(h, p)]
+        remaining_after = len(pattern_order) - index - 1
+        available = all_vertices - used
+        budget = len(available) - remaining_after
+        if budget < 1:
+            return None
+        for seed in sorted(available):
+            for branch in _connected_subsets_rooted(graph, seed, available, budget):
+                if not all(
+                    _branch_sets_touch(graph, branch, model[p]) for p in needed
+                ):
+                    continue
+                model[h] = branch
+                result = backtrack(index + 1, used | branch, model)
+                if result is not None:
+                    return result
+                del model[h]
+        return None
+
+    return backtrack(0, frozenset(), {})
+
+
+def _has_star_minor(graph: Graph, leaves: int) -> bool:
+    """Return whether ``K_{1,leaves}`` is a minor.
+
+    ``K_{1,t}`` is a minor iff some connected set ``S`` has ``|N(S)| >= t``:
+    the center contracts from ``S`` and each neighbor is a leaf branch set.
+    The search grows connected sets greedily and exactly (small hosts).
+    """
+    if leaves == 0:
+        return graph.n >= 1
+    if any(graph.degree(v) >= leaves for v in graph.vertices()):
+        return True
+    for component in graph.connected_components():
+        sub = graph.induced_subgraph(component)
+        available = frozenset(sub.vertices())
+        for seed in sorted(available):
+            for subset in _connected_subsets_rooted(sub, seed, available, sub.n):
+                neighborhood = set()
+                for v in subset:
+                    neighborhood.update(sub.neighbors(v))
+                neighborhood -= subset
+                if len(neighborhood) >= leaves:
+                    return True
+    return False
+
+
+def _spider_leg_lengths(pattern: Graph) -> Optional[list]:
+    """Return the leg lengths if ``pattern`` is a 3-leg spider, else ``None``.
+
+    A 3-leg spider is a tree with exactly one degree-3 vertex and all other
+    degrees at most 2 (three paths glued at a center).  Its maximum degree
+    is 3, so minor containment coincides with topological-minor containment,
+    enabling the fast disjoint-paths test.
+    """
+    if not pattern.is_tree():
+        return None
+    degrees = [pattern.degree(v) for v in pattern.vertices()]
+    if sorted(degrees, reverse=True)[0] != 3 or sum(1 for d in degrees if d == 3) != 1:
+        return None
+    if any(d > 3 for d in degrees):
+        return None
+    center = next(v for v in pattern.vertices() if pattern.degree(v) == 3)
+    lengths = []
+    for first in sorted(pattern.neighbors(center)):
+        length = 1
+        prev, cur = center, first
+        while pattern.degree(cur) == 2:
+            nxt = next(u for u in pattern.neighbors(cur) if u != prev)
+            prev, cur = cur, nxt
+            length += 1
+        lengths.append(length)
+    return lengths
+
+
+def _has_spider_minor(graph: Graph, lengths: list) -> bool:
+    """Return whether the 3-leg spider with the given leg lengths is a minor.
+
+    Minor = topological minor here (pattern max degree 3): search for a
+    center vertex with three internally vertex-disjoint paths of at least
+    the required lengths.  Full backtracking over the three legs, so the
+    test is exact.
+    """
+    lengths = sorted(lengths, reverse=True)
+
+    def paths_from(center, remaining: list, used: set) -> bool:
+        if not remaining:
+            return True
+        need = remaining[0]
+
+        def grow(v, togo: int, visited: set) -> bool:
+            if togo <= 0:
+                return paths_from(center, remaining[1:], used | visited)
+            for w in sorted(graph.neighbors(v)):
+                if w == center or w in used or w in visited:
+                    continue
+                if grow(w, togo - 1, visited | {w}):
+                    return True
+            return False
+
+        return grow(center, need, set())
+
+    return any(
+        graph.degree(c) >= 3 and paths_from(c, lengths, {c})
+        for c in graph.vertices()
+    )
+
+
+def contains_minor(graph: Graph, pattern: Graph) -> bool:
+    """Return whether ``pattern`` is a minor of ``graph``.
+
+    Exact fast paths cover the evaluation's pattern shapes: path minors
+    reduce to path subgraphs, ``K_3`` to a cycle test, stars to the
+    connected-set neighborhood test, 3-leg spiders to a disjoint-paths
+    search.  Everything else falls back to the general branch-set search,
+    which is exponential — keep those hosts small (<= ~14 vertices).
+    """
+    if pattern.n == 0:
+        return True
+    if pattern.is_path_graph():
+        return _has_path_of_order(graph, pattern.n)
+    if pattern.n == 3 and pattern.m == 3:
+        return graph.has_cycle()
+    if pattern.is_tree() and pattern.m >= 1:
+        degrees = sorted((pattern.degree(v) for v in pattern.vertices()), reverse=True)
+        if degrees[1] <= 1:  # a star: one center, all leaves
+            return _has_star_minor(graph, degrees[0])
+        legs = _spider_leg_lengths(pattern)
+        if legs is not None:
+            return _has_spider_minor(graph, legs)
+    return find_minor_model(graph, pattern) is not None
+
+
+def is_minor_free(graph: Graph, pattern: Graph) -> bool:
+    """Return whether ``graph`` excludes ``pattern`` as a minor."""
+    return not contains_minor(graph, pattern)
+
+
+def _has_path_of_order(graph: Graph, t: int) -> bool:
+    """Return whether the graph contains a simple path on ``t`` vertices.
+
+    DFS with backtracking; exponential in the worst case but the
+    evaluation only asks for small ``t``.
+    """
+    if t <= 0:
+        return True
+    if t == 1:
+        return graph.n >= 1
+
+    def extend(path: list, visited: set) -> bool:
+        if len(path) == t:
+            return True
+        for w in sorted(graph.neighbors(path[-1])):
+            if w not in visited:
+                visited.add(w)
+                path.append(w)
+                if extend(path, visited):
+                    return True
+                path.pop()
+                visited.discard(w)
+        return False
+
+    return any(extend([v], {v}) for v in graph.vertices())
+
+
+def excluded_forest_pathwidth_bound(forest: Graph) -> int:
+    """Return the pathwidth bound from the Excluding Forest Theorem.
+
+    Robertson and Seymour (Graph Minors I) proved that ``F``-minor-free
+    graphs have bounded pathwidth for every forest ``F``; Bienstock,
+    Robertson, Seymour, and Thomas ("Quickly excluding a forest", JCTB 1991)
+    sharpened the bound to ``|V(F)| - 2``, which is tight.  Corollary 1.2
+    only needs *some* finite bound, and this is the standard citable one.
+    """
+    if not forest.is_forest():
+        raise ValueError("pattern must be a forest for the excluding forest theorem")
+    return max(forest.n - 2, 0)

@@ -1,0 +1,61 @@
+"""Monadic second-order logic (MSO2) on graphs.
+
+Section 1.2 of the paper fixes the MSO2 fragment: four variable sorts
+(vertices, edges, vertex sets, edge sets), quantifiers over all of them,
+boolean connectives, and the atomic predicates ``v in U``, ``e in F``,
+``inc(e, v)``, ``adj(u, v)``, and sort-respecting equality.
+
+This package provides
+
+* an AST (:mod:`repro.mso.syntax`) with smart constructors,
+* a text parser (:mod:`repro.mso.parser`),
+* a naive exponential model checker (:mod:`repro.mso.semantics`) used as
+  ground truth on small graphs, and
+* the property zoo (:mod:`repro.mso.properties`): each headline property of
+  the paper as an MSO2 formula paired with a direct polynomial checker.
+"""
+
+from repro.mso.syntax import (
+    Adj,
+    And,
+    EdgeSetVar,
+    EdgeVar,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    Inc,
+    Not,
+    Or,
+    VertexSetVar,
+    VertexVar,
+)
+from repro.mso.parser import parse_formula
+from repro.mso.semantics import check_formula
+from repro.mso.properties import PROPERTY_ZOO, GraphProperty
+
+__all__ = [
+    "Adj",
+    "And",
+    "EdgeSetVar",
+    "EdgeVar",
+    "Eq",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Iff",
+    "Implies",
+    "In",
+    "Inc",
+    "Not",
+    "Or",
+    "VertexSetVar",
+    "VertexVar",
+    "parse_formula",
+    "check_formula",
+    "PROPERTY_ZOO",
+    "GraphProperty",
+]

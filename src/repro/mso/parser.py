@@ -1,0 +1,261 @@
+"""A small text syntax for MSO2 formulas.
+
+Grammar (precedence low to high; ``->`` is right-associative)::
+
+    formula  := iff
+    iff      := implies ('<->' implies)*
+    implies  := or ('->' implies)?
+    or       := and ('|' and)*
+    and      := unary ('&' unary)*
+    unary    := '~' unary | quantifier | atom
+    quantifier := ('exists' | 'forall') decls '.' unary
+    decls    := NAME ':' sort (',' NAME ':' sort)*
+    sort     := 'V' | 'E' | 'SV' | 'SE'
+    atom     := 'adj(' NAME ',' NAME ')'
+              | 'inc(' NAME ',' NAME ')'
+              | NAME 'in' NAME
+              | NAME '=' NAME | NAME '!=' NAME
+              | 'label(' NAME ')' '=' token
+              | '(' formula ')'
+
+Examples::
+
+    parse_formula("forall u:V, v:V. adj(u, v) -> ~(u = v)")
+    parse_formula("exists S:SV. forall v:V. v in S | exists u:V. u in S & adj(u,v)")
+
+Sorts: ``V`` vertex, ``E`` edge, ``SV`` vertex set, ``SE`` edge set.
+Free variables may be pre-declared via the ``free`` argument.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.mso.syntax import (
+    Adj,
+    And,
+    EdgeSetVar,
+    EdgeVar,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    HasLabel,
+    Iff,
+    Implies,
+    In,
+    Inc,
+    Not,
+    Or,
+    VertexSetVar,
+    VertexVar,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow><->|->)|(?P<op>[~&|().,:=])|(?P<neq>!=)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<literal>'[^']*'|\"[^\"]*\"|\d+))"
+)
+
+_SORTS = {
+    "V": VertexVar,
+    "E": EdgeVar,
+    "SV": VertexSetVar,
+    "SE": EdgeSetVar,
+}
+
+_KEYWORDS = {"exists", "forall", "in", "adj", "inc", "label", "true", "false"}
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize at: {remainder[:20]!r}")
+        pos = match.end()
+        for kind in ("arrow", "op", "neq", "name", "literal"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list, scope: dict):
+        self.tokens = tokens
+        self.index = 0
+        self.scope = dict(scope)
+
+    # ------------------------------------------------------------------
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return (None, None)
+
+    def advance(self):
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, value: str):
+        kind, tok = self.advance()
+        if tok != value:
+            raise ParseError(f"expected {value!r}, got {tok!r}")
+        return tok
+
+    # ------------------------------------------------------------------
+    def parse_formula(self) -> Formula:
+        left = self.parse_implies()
+        while self.peek()[1] == "<->":
+            self.advance()
+            left = Iff(left, self.parse_implies())
+        return left
+
+    def parse_implies(self) -> Formula:
+        left = self.parse_or()
+        if self.peek()[1] == "->":
+            self.advance()
+            return Implies(left, self.parse_implies())
+        return left
+
+    def parse_or(self) -> Formula:
+        left = self.parse_and()
+        while self.peek()[1] == "|":
+            self.advance()
+            left = Or(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Formula:
+        left = self.parse_unary()
+        while self.peek()[1] == "&":
+            self.advance()
+            left = And(left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Formula:
+        kind, tok = self.peek()
+        if tok == "~":
+            self.advance()
+            return Not(self.parse_unary())
+        if tok in ("exists", "forall"):
+            return self.parse_quantifier()
+        return self.parse_atom()
+
+    def parse_quantifier(self) -> Formula:
+        _, keyword = self.advance()
+        constructor = Exists if keyword == "exists" else ForAll
+        declarations = [self.parse_declaration()]
+        while self.peek()[1] == ",":
+            self.advance()
+            declarations.append(self.parse_declaration())
+        self.expect(".")
+        saved = {}
+        for var in declarations:
+            saved[var.name] = self.scope.get(var.name)
+            self.scope[var.name] = var
+        # Quantifiers take the widest possible scope, as is conventional:
+        # "exists v:V. A & B" binds v in both A and B.
+        body = self.parse_formula()
+        for var in declarations:
+            if saved[var.name] is None:
+                del self.scope[var.name]
+            else:
+                self.scope[var.name] = saved[var.name]
+        for var in reversed(declarations):
+            body = constructor(var, body)
+        return body
+
+    def parse_declaration(self):
+        kind, name = self.advance()
+        if kind != "name" or name in _KEYWORDS:
+            raise ParseError(f"expected variable name, got {name!r}")
+        self.expect(":")
+        kind, sort = self.advance()
+        if sort not in _SORTS:
+            raise ParseError(f"unknown sort {sort!r} (use V, E, SV, SE)")
+        return _SORTS[sort](name)
+
+    def lookup(self, name: str):
+        if name not in self.scope:
+            raise ParseError(f"unbound variable {name!r}")
+        return self.scope[name]
+
+    def parse_atom(self) -> Formula:
+        kind, tok = self.advance()
+        if tok == "(":
+            inner = self.parse_formula()
+            self.expect(")")
+            return inner
+        if tok == "adj":
+            self.expect("(")
+            left = self.lookup(self.advance()[1])
+            self.expect(",")
+            right = self.lookup(self.advance()[1])
+            self.expect(")")
+            return Adj(left, right)
+        if tok == "inc":
+            self.expect("(")
+            edge = self.lookup(self.advance()[1])
+            self.expect(",")
+            vertex = self.lookup(self.advance()[1])
+            self.expect(")")
+            return Inc(edge, vertex)
+        if tok == "label":
+            self.expect("(")
+            variable = self.lookup(self.advance()[1])
+            self.expect(")")
+            self.expect("=")
+            kind, literal = self.advance()
+            if kind != "literal":
+                raise ParseError(f"expected literal after label(...)=, got {literal!r}")
+            if literal.isdigit():
+                value: object = int(literal)
+            else:
+                value = literal[1:-1]
+            return HasLabel(variable, value)
+        if kind == "name" and tok not in _KEYWORDS:
+            variable = self.lookup(tok)
+            nxt_kind, nxt = self.peek()
+            if nxt == "in":
+                self.advance()
+                set_var = self.lookup(self.advance()[1])
+                return In(variable, set_var)
+            if nxt == "=":
+                self.advance()
+                other = self.lookup(self.advance()[1])
+                return Eq(variable, other)
+            if nxt == "!=":
+                self.advance()
+                other = self.lookup(self.advance()[1])
+                return Not(Eq(variable, other))
+            raise ParseError(f"expected 'in', '=' or '!=' after {tok!r}, got {nxt!r}")
+        raise ParseError(f"unexpected token {tok!r}")
+
+
+def parse_formula(text: str, free: dict = None) -> Formula:
+    """Parse ``text`` into a :class:`Formula`.
+
+    ``free`` optionally declares free variables, mapping name to sort
+    letter (``"V"``, ``"E"``, ``"SV"``, ``"SE"``).
+    """
+    scope = {}
+    for name, sort in (free or {}).items():
+        if sort not in _SORTS:
+            raise ParseError(f"unknown sort {sort!r} for free variable {name!r}")
+        scope[name] = _SORTS[sort](name)
+    parser = _Parser(_tokenize(text), scope)
+    formula = parser.parse_formula()
+    if parser.index != len(parser.tokens):
+        raise ParseError(
+            f"trailing tokens: {parser.tokens[parser.index:][:5]!r}"
+        )
+    return formula

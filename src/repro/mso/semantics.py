@@ -1,0 +1,135 @@
+"""Naive MSO2 model checking — exponential, exact, ground truth.
+
+The checker evaluates a formula over a graph by direct enumeration:
+first-order quantifiers range over vertices/edges, set quantifiers over all
+``2^n`` (or ``2^m``) subsets.  Intended strictly for small graphs, where it
+serves as the reference semantics against which the homomorphism-class
+algebras of :mod:`repro.courcelle` are validated — the same role the
+"semantic" side of Proposition 2.4 plays in the paper's correctness
+argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graphs import Graph
+from repro.mso.syntax import (
+    Adj,
+    And,
+    EdgeSetVar,
+    EdgeVar,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    HasLabel,
+    Iff,
+    Implies,
+    In,
+    Inc,
+    Not,
+    Or,
+    VertexSetVar,
+    VertexVar,
+)
+
+_SET_QUANTIFIER_LIMIT = 16
+
+
+def check_formula(graph: Graph, formula: Formula, assignment: dict = None) -> bool:
+    """Return whether ``graph`` (with ``assignment`` for free variables)
+    satisfies ``formula``.
+
+    ``assignment`` maps variables to values: vertices for ``VertexVar``,
+    canonical edge keys for ``EdgeVar``, frozensets thereof for set
+    variables.  Raises ``ValueError`` when a set quantifier would enumerate
+    more than ``2**16`` subsets.
+    """
+    assignment = dict(assignment or {})
+    free = formula.free_variables() - set(assignment)
+    if free:
+        raise ValueError(f"unassigned free variables: {sorted(map(str, free))}")
+    return _eval(graph, formula, assignment)
+
+
+def _domain(graph: Graph, variable):
+    """Yield the values a quantified variable ranges over."""
+    if isinstance(variable, VertexVar):
+        yield from graph.vertices()
+    elif isinstance(variable, EdgeVar):
+        yield from graph.edges()
+    elif isinstance(variable, VertexSetVar):
+        items = graph.vertices()
+        if len(items) > _SET_QUANTIFIER_LIMIT:
+            raise ValueError(
+                f"set quantifier over {len(items)} vertices exceeds the naive "
+                f"checker's limit ({_SET_QUANTIFIER_LIMIT})"
+            )
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+    elif isinstance(variable, EdgeSetVar):
+        items = graph.edges()
+        if len(items) > _SET_QUANTIFIER_LIMIT:
+            raise ValueError(
+                f"set quantifier over {len(items)} edges exceeds the naive "
+                f"checker's limit ({_SET_QUANTIFIER_LIMIT})"
+            )
+        for r in range(len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                yield frozenset(combo)
+    else:
+        raise TypeError(f"unknown variable sort: {variable!r}")
+
+
+def _eval(graph: Graph, formula: Formula, assignment: dict) -> bool:
+    if isinstance(formula, In):
+        return assignment[formula.element] in assignment[formula.set_var]
+    if isinstance(formula, Inc):
+        edge = assignment[formula.edge]
+        return assignment[formula.vertex] in edge
+    if isinstance(formula, Adj):
+        return graph.has_edge(assignment[formula.left], assignment[formula.right])
+    if isinstance(formula, Eq):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, HasLabel):
+        value = assignment[formula.variable]
+        if isinstance(formula.variable, VertexVar):
+            return graph.vertex_label(value) == formula.label
+        return graph.edge_label(*value) == formula.label
+    if isinstance(formula, Not):
+        return not _eval(graph, formula.operand, assignment)
+    if isinstance(formula, And):
+        return _eval(graph, formula.left, assignment) and _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Or):
+        return _eval(graph, formula.left, assignment) or _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(graph, formula.left, assignment)) or _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, Iff):
+        return _eval(graph, formula.left, assignment) == _eval(
+            graph, formula.right, assignment
+        )
+    if isinstance(formula, (Exists, ForAll)):
+        # Save and restore any shadowed outer binding of the same variable.
+        sentinel = object()
+        saved = assignment.get(formula.variable, sentinel)
+        looking_for = isinstance(formula, Exists)
+        result = not looking_for
+        for value in _domain(graph, formula.variable):
+            assignment[formula.variable] = value
+            if _eval(graph, formula.body, assignment) == looking_for:
+                result = looking_for
+                break
+        if saved is sentinel:
+            assignment.pop(formula.variable, None)
+        else:
+            assignment[formula.variable] = saved
+        return result
+    raise TypeError(f"unknown formula node: {formula!r}")

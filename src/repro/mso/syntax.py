@@ -1,0 +1,301 @@
+"""Abstract syntax for the paper's MSO2 fragment (Section 1.2).
+
+Variables come in four sorts — vertex, edge, vertex set, edge set — and
+formulas are built from five atomic predicates, the usual connectives, and
+quantifiers over any sort.  The AST is immutable (frozen dataclasses) so
+formulas can be hashed, deduplicated, and used as dictionary keys by the
+Courcelle machinery and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Variables
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Variable:
+    """Base class for sorted variables; ``name`` identifies the binder."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VertexVar(Variable):
+    """A first-order vertex variable."""
+
+
+@dataclass(frozen=True)
+class EdgeVar(Variable):
+    """A first-order edge variable."""
+
+
+@dataclass(frozen=True)
+class VertexSetVar(Variable):
+    """A monadic second-order vertex-set variable."""
+
+
+@dataclass(frozen=True)
+class EdgeSetVar(Variable):
+    """A monadic second-order edge-set variable."""
+
+
+FIRST_ORDER_SORTS = (VertexVar, EdgeVar)
+SET_SORTS = (VertexSetVar, EdgeSetVar)
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Formula:
+    """Base class for formulas."""
+
+    def free_variables(self) -> frozenset:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class In(Formula):
+    """``element in set_var`` — sorts must match (vertex/vertex-set etc.)."""
+
+    element: Variable
+    set_var: Variable
+
+    def __post_init__(self):
+        ok = (
+            isinstance(self.element, VertexVar)
+            and isinstance(self.set_var, VertexSetVar)
+        ) or (
+            isinstance(self.element, EdgeVar) and isinstance(self.set_var, EdgeSetVar)
+        )
+        if not ok:
+            raise TypeError(
+                f"sort mismatch in {self.element} in {self.set_var}"
+            )
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.element, self.set_var})
+
+    def __str__(self) -> str:
+        return f"{self.element} in {self.set_var}"
+
+
+@dataclass(frozen=True)
+class Inc(Formula):
+    """``inc(e, v)`` — edge ``e`` is incident to vertex ``v``."""
+
+    edge: EdgeVar
+    vertex: VertexVar
+
+    def __post_init__(self):
+        if not isinstance(self.edge, EdgeVar) or not isinstance(self.vertex, VertexVar):
+            raise TypeError("inc(e, v) needs an edge and a vertex variable")
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.edge, self.vertex})
+
+    def __str__(self) -> str:
+        return f"inc({self.edge}, {self.vertex})"
+
+
+@dataclass(frozen=True)
+class Adj(Formula):
+    """``adj(u, v)`` — vertices ``u`` and ``v`` are adjacent."""
+
+    left: VertexVar
+    right: VertexVar
+
+    def __post_init__(self):
+        if not isinstance(self.left, VertexVar) or not isinstance(self.right, VertexVar):
+            raise TypeError("adj(u, v) needs two vertex variables")
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def __str__(self) -> str:
+        return f"adj({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality between two variables of the same sort."""
+
+    left: Variable
+    right: Variable
+
+    def __post_init__(self):
+        if type(self.left) is not type(self.right):
+            raise TypeError(
+                f"equality across sorts: {type(self.left).__name__} "
+                f"vs {type(self.right).__name__}"
+            )
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.left, self.right})
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class HasLabel(Formula):
+    """Input-label predicate: the vertex/edge carries the given input label.
+
+    This is the standard extension of Courcelle's theorem to labeled graphs
+    (Section 2.2): vertices and edges may carry labels from a fixed finite
+    set, and formulas may test them.
+    """
+
+    variable: Variable
+    label: object
+
+    def __post_init__(self):
+        if not isinstance(self.variable, (VertexVar, EdgeVar)):
+            raise TypeError("HasLabel applies to first-order variables only")
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.variable})
+
+    def __str__(self) -> str:
+        return f"label({self.variable}) = {self.label!r}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"~({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication."""
+
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Biconditional."""
+
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over any sort."""
+
+    variable: Variable
+    body: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        sort = type(self.variable).__name__
+        return f"exists {self.variable}:{sort}. ({self.body})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """Universal quantification over any sort."""
+
+    variable: Variable
+    body: Formula
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        sort = type(self.variable).__name__
+        return f"forall {self.variable}:{sort}. ({self.body})"
+
+
+def exists_many(variables, body: Formula) -> Formula:
+    """Nest ``Exists`` binders for each variable, innermost last."""
+    result = body
+    for var in reversed(list(variables)):
+        result = Exists(var, result)
+    return result
+
+
+def forall_many(variables, body: Formula) -> Formula:
+    """Nest ``ForAll`` binders for each variable, innermost last."""
+    result = body
+    for var in reversed(list(variables)):
+        result = ForAll(var, result)
+    return result
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """Return the maximum nesting depth of quantifiers."""
+    if isinstance(formula, (Exists, ForAll)):
+        return 1 + quantifier_depth(formula.body)
+    if isinstance(formula, Not):
+        return quantifier_depth(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Iff)):
+        return max(quantifier_depth(formula.left), quantifier_depth(formula.right))
+    return 0

@@ -1,0 +1,168 @@
+"""Interval representations (Definition 4.1).
+
+An interval representation assigns every vertex ``v`` a non-empty integer
+interval ``I_v = [L_v, R_v]`` such that the intervals of adjacent vertices
+intersect.  Its *width* is the maximum number of intervals sharing a point
+(note: this is pathwidth **plus one**, matching the paper's convention — a
+graph has pathwidth ``k`` iff it has an interval representation of width
+``k + 1``).
+
+The class also provides the ``≺`` order on disjoint intervals that lane
+partitions are built from (``[a, b] ≺ [c, d]`` iff ``b < c``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs import Graph
+
+
+class IntervalRepresentation:
+    """An interval assignment ``vertex -> [L, R]`` for a graph.
+
+    Parameters
+    ----------
+    graph:
+        The represented graph.
+    intervals:
+        Mapping ``vertex -> (L, R)`` with integer ``L <= R``.
+    validate:
+        When true (default), checks Definition 4.1: every vertex has a
+        non-empty interval and adjacent intervals intersect.
+    """
+
+    def __init__(self, graph: Graph, intervals: dict, validate: bool = True) -> None:
+        self.graph = graph
+        self.intervals = {v: (int(l), int(r)) for v, (l, r) in intervals.items()}
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless this satisfies Definition 4.1."""
+        missing = set(self.graph.vertices()) - set(self.intervals)
+        if missing:
+            raise ValueError(f"vertices without intervals: {sorted(missing)!r}")
+        for v, (left, right) in self.intervals.items():
+            if left > right:
+                raise ValueError(f"empty interval for {v!r}: [{left}, {right}]")
+        for u, v in self.graph.edges():
+            if not self.overlaps(u, v):
+                raise ValueError(
+                    f"edge {u!r}-{v!r} with disjoint intervals "
+                    f"{self.intervals[u]} and {self.intervals[v]}"
+                )
+
+    # ------------------------------------------------------------------
+    def left(self, v) -> int:
+        """Return ``L_v``."""
+        return self.intervals[v][0]
+
+    def right(self, v) -> int:
+        """Return ``R_v``."""
+        return self.intervals[v][1]
+
+    def overlaps(self, u, v) -> bool:
+        """Return whether ``I_u`` and ``I_v`` intersect."""
+        lu, ru = self.intervals[u]
+        lv, rv = self.intervals[v]
+        return max(lu, lv) <= min(ru, rv)
+
+    def strictly_before(self, u, v) -> bool:
+        """Return whether ``I_u ≺ I_v`` (Section 4.1)."""
+        return self.intervals[u][1] < self.intervals[v][0]
+
+    def width(self) -> int:
+        """Return the width: the max number of intervals sharing a point.
+
+        Computed by a sweep over interval events; O(n log n).
+        """
+        if not self.intervals:
+            return 0
+        events = []
+        for left, right in self.intervals.values():
+            events.append((left, 0))  # open before close at the same point
+            events.append((right, 1))
+        events.sort()
+        depth = best = 0
+        for _, kind in events:
+            if kind == 0:
+                depth += 1
+                best = max(best, depth)
+            else:
+                depth -= 1
+        return best
+
+    def span(self) -> tuple:
+        """Return ``(min L, max R)`` over all intervals."""
+        lefts = [l for l, _ in self.intervals.values()]
+        rights = [r for _, r in self.intervals.values()]
+        return min(lefts), max(rights)
+
+    def restricted_to(self, vertex_subset) -> "IntervalRepresentation":
+        """Return the representation restricted to an induced subgraph.
+
+        This is the ``I_C`` of Section 4.2: the same intervals, kept only
+        for the vertices of the (connected) subset ``C``.
+        """
+        sub = self.graph.induced_subgraph(vertex_subset)
+        kept = {v: self.intervals[v] for v in sub.vertices()}
+        return IntervalRepresentation(sub, kept, validate=False)
+
+    def union_interval(self, vertex_subset) -> tuple:
+        """Return ``I_U = [L_U, R_U]`` for a connected subset ``U``.
+
+        For connected ``U`` the union of intervals is itself an interval
+        (Section 4.2); this returns its endpoints.
+        """
+        vs = list(vertex_subset)
+        if not vs:
+            raise ValueError("empty subset has no union interval")
+        return (
+            min(self.intervals[v][0] for v in vs),
+            max(self.intervals[v][1] for v in vs),
+        )
+
+    # ------------------------------------------------------------------
+    def argmin_left(self):
+        """Return the vertex minimizing ``L_v`` (ties: smallest vertex)."""
+        return min(self.intervals, key=lambda v: (self.intervals[v][0], v))
+
+    def argmax_right(self):
+        """Return the vertex maximizing ``R_v`` (ties: smallest vertex)."""
+        return min(self.intervals, key=lambda v: (-self.intervals[v][1], v))
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalRepresentation(n={len(self.intervals)}, "
+            f"width={self.width()})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ordering(cls, graph: Graph, ordering: list) -> "IntervalRepresentation":
+        """Build a representation from a linear vertex ordering.
+
+        Vertex ``v`` at position ``i`` receives ``L_v = i`` and
+        ``R_v = max(i, last position of a neighbor of v)``; the width of the
+        result equals the *vertex separation* of the ordering plus one,
+        which is how the exact solver converts orderings into certified
+        representations.
+        """
+        position = {v: i for i, v in enumerate(ordering)}
+        if set(position) != set(graph.vertices()) or len(position) != graph.n:
+            raise ValueError("ordering must enumerate each vertex exactly once")
+        intervals = {}
+        for v in ordering:
+            i = position[v]
+            reach = i
+            for u in graph.neighbors(v):
+                if position[u] > reach:
+                    reach = position[u]
+            intervals[v] = (i, reach)
+        # R_v must extend to cover neighbors that come earlier too; with
+        # L = own position and R = furthest later neighbor, an edge (u, v)
+        # with u earlier satisfies R_u >= pos(v) >= L_v and L_u <= R_u, so
+        # the intervals intersect.  Validation double-checks.
+        return cls(graph, intervals, validate=True)

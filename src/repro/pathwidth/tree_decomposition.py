@@ -1,0 +1,140 @@
+"""Tree decompositions — the substrate of the FMRT'24 baseline.
+
+Fraigniaud, Montealegre, Rapaport, and Todinca certify MSO2 properties on
+bounded-treewidth graphs with O(log^2 n)-bit labels by running Courcelle's
+dynamic program over a *balanced* tree decomposition.  This module provides
+the decomposition structure and validation; balancing lives in
+:mod:`repro.pathwidth.balanced`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.graphs import Graph
+
+
+class TreeDecomposition:
+    """A rooted tree decomposition.
+
+    Parameters
+    ----------
+    graph:
+        The decomposed graph.
+    bags:
+        Mapping ``node_id -> collection of vertices``.
+    tree_edges:
+        Collection of ``(parent, child)`` pairs over ``node_id``s.
+    root:
+        The root node id.
+    """
+
+    def __init__(self, graph: Graph, bags: dict, tree_edges, root, validate=True) -> None:
+        self.graph = graph
+        self.bags = {node: sorted(set(bag)) for node, bag in bags.items()}
+        self.root = root
+        self.children: dict = {node: [] for node in self.bags}
+        self.parent: dict = {node: None for node in self.bags}
+        for parent, child in tree_edges:
+            self.children[parent].append(child)
+            self.parent[child] = parent
+        for node in self.children:
+            self.children[node].sort()
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless this is a valid rooted tree decomposition."""
+        if self.root not in self.bags:
+            raise ValueError("root is not a decomposition node")
+        # The node graph must be a tree rooted at root.
+        order = self.topological_order()
+        if len(order) != len(self.bags):
+            raise ValueError("decomposition nodes do not form a tree under root")
+        # Vertex coverage.
+        covered: set = set()
+        for bag in self.bags.values():
+            covered.update(bag)
+        missing = set(self.graph.vertices()) - covered
+        if missing:
+            raise ValueError(f"vertices missing from all bags: {sorted(missing)!r}")
+        # Edge coverage.
+        bag_sets = {node: set(bag) for node, bag in self.bags.items()}
+        for u, v in self.graph.edges():
+            if not any(u in bag and v in bag for bag in bag_sets.values()):
+                raise ValueError(f"edge {u!r}-{v!r} not covered by any bag")
+        # Connectivity of each vertex's occurrence set.
+        for vertex in covered:
+            nodes = [node for node, bag in bag_sets.items() if vertex in bag]
+            node_set = set(nodes)
+            seen = {nodes[0]}
+            queue = deque([nodes[0]])
+            while queue:
+                node = queue.popleft()
+                neighbors = list(self.children[node])
+                if self.parent[node] is not None:
+                    neighbors.append(self.parent[node])
+                for other in neighbors:
+                    if other in node_set and other not in seen:
+                        seen.add(other)
+                        queue.append(other)
+            if seen != node_set:
+                raise ValueError(f"occurrences of {vertex!r} are not connected")
+
+    # ------------------------------------------------------------------
+    def width(self) -> int:
+        """Return ``max |bag| - 1``."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    def depth(self) -> int:
+        """Return the number of nodes on the longest root-to-leaf path."""
+        depths = {self.root: 1}
+        best = 1
+        for node in self.topological_order():
+            for child in self.children[node]:
+                depths[child] = depths[node] + 1
+                best = max(best, depths[child])
+        return best
+
+    def topological_order(self) -> list:
+        """Return nodes in root-first (BFS) order."""
+        order = []
+        queue = deque([self.root])
+        seen = {self.root}
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in self.children[node]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return order
+
+    def root_path(self, node) -> list:
+        """Return the node's ancestors from the root down to the node."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(nodes={len(self.bags)}, width={self.width()}, "
+            f"depth={self.depth()})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_path_decomposition(cls, decomposition) -> "TreeDecomposition":
+        """View a path decomposition as a caterpillar-shaped tree decomposition."""
+        bags = {i: bag for i, bag in enumerate(decomposition.bags)}
+        edges = [(i, i + 1) for i in range(len(decomposition.bags) - 1)]
+        root = 0 if bags else None
+        if root is None:
+            raise ValueError("cannot root an empty decomposition")
+        return cls(decomposition.graph, bags, edges, root)

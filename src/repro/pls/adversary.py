@@ -1,0 +1,111 @@
+"""Soundness attack harness: label corruption and transplantation.
+
+A PLS must reject *every* labeling of a non-satisfying configuration and
+must not be fooled by perturbed or misappropriated honest labelings.
+These generators produce adversarial labelings from honest ones:
+
+* **mutation** — walk a label object and perturb one leaf (int nudges,
+  boolean flips, tuple element replacement);
+* **swap** — exchange the certificates of two vertices/edges;
+* **transplant** — apply the honest labels proven for configuration A to
+  configuration B (position-wise), the classic "right proof, wrong graph"
+  attack.
+
+The experiments measure the rejection rate over many corrupted trials;
+soundness demands rejection whenever the *predicate* is violated, and the
+tests assert exactly that (a mutation that happens to produce another
+valid proof of a true statement is not a soundness failure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from repro.pls.scheme import Labeling
+
+
+def mutate_value(value, rng: random.Random):
+    """Return a perturbed copy of an arbitrary label object."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + rng.choice([-2, -1, 1, 2, 7, -7])
+    if isinstance(value, str):
+        if not value:
+            return "x"
+        index = rng.randrange(len(value))
+        replacement = chr((ord(value[index]) - 31) % 95 + 33)
+        return value[:index] + replacement + value[index + 1 :]
+    if isinstance(value, tuple):
+        if not value:
+            return (0,)
+        index = rng.randrange(len(value))
+        mutated = mutate_value(value[index], rng)
+        return value[:index] + (mutated,) + value[index + 1 :]
+    if isinstance(value, frozenset):
+        items = sorted(value, key=repr)
+        if not items:
+            return frozenset({0})
+        index = rng.randrange(len(items))
+        items[index] = mutate_value(items[index], rng)
+        return frozenset(items)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.fields(value)
+        target = rng.choice(fields)
+        current = getattr(value, target.name)
+        return dataclasses.replace(value, **{target.name: mutate_value(current, rng)})
+    if value is None:
+        return 0
+    return value
+
+
+def corrupt_one_label(
+    labeling: Labeling, rng: random.Random, key=None
+) -> Labeling:
+    """Return a copy of the labeling with one certificate mutated."""
+    mapping = dict(labeling.mapping)
+    if not mapping:
+        return labeling
+    if key is None:
+        key = rng.choice(sorted(mapping, key=repr))
+    mapping[key] = mutate_value(mapping[key], rng)
+    return Labeling(labeling.location, mapping, labeling.size_context)
+
+
+def swap_two_labels(labeling: Labeling, rng: random.Random) -> Labeling:
+    """Return a copy with two certificates exchanged."""
+    keys = sorted(labeling.mapping, key=repr)
+    if len(keys) < 2:
+        return labeling
+    a, b = rng.sample(keys, 2)
+    mapping = dict(labeling.mapping)
+    mapping[a], mapping[b] = mapping[b], mapping[a]
+    return Labeling(labeling.location, mapping, labeling.size_context)
+
+
+def drop_one_label(labeling: Labeling, rng: random.Random) -> Labeling:
+    """Return a copy with one certificate replaced by ``None``."""
+    keys = sorted(labeling.mapping, key=repr)
+    if not keys:
+        return labeling
+    mapping = dict(labeling.mapping)
+    mapping[rng.choice(keys)] = None
+    return Labeling(labeling.location, mapping, labeling.size_context)
+
+
+def transplant_labels(
+    source: Labeling, target_keys: list
+) -> Optional[Labeling]:
+    """Map the source labels onto ``target_keys`` position-wise.
+
+    Returns ``None`` when the counts differ (no sensible transplant).
+    """
+    source_keys = sorted(source.mapping, key=repr)
+    if len(source_keys) != len(target_keys):
+        return None
+    mapping = {
+        tk: source.mapping[sk] for sk, tk in zip(source_keys, sorted(target_keys, key=repr))
+    }
+    return Labeling(source.location, mapping, source.size_context)

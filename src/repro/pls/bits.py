@@ -1,0 +1,85 @@
+"""Bit accounting for certificate sizes.
+
+The complexity measure of a PLS is the maximum certificate length in
+bits as a function of ``n`` (Section 1.1).  Labels in this code base are
+structured Python objects; each scheme reports sizes through an explicit
+per-label formula built from the helpers here, with identifier fields
+costing ``id_bits = ceil(log2(id_universe))`` and counters costing their
+binary width.  This mirrors the paper's accounting: an O(log n)-bit label
+is a constant number of ID-sized and counter fields.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def uint_bits(value: int) -> int:
+    """Return the binary width needed for ``value`` (at least 1)."""
+    if value < 0:
+        raise ValueError("uint_bits needs a non-negative value")
+    return max(1, value.bit_length())
+
+
+def id_bits_for(n: int, universe_bits: int = 32) -> int:
+    """Return the identifier field width for an ``n``-vertex network.
+
+    Identifiers are O(log n)-bit by assumption; the simulator draws them
+    from a 2^32 universe, so a field is ``min(universe_bits,
+    2*ceil(log2 n) + 8)`` bits — the paper's Θ(log n) with an explicit
+    constant, never exceeding the universe width.
+    """
+    if n < 1:
+        raise ValueError("network must have at least one vertex")
+    logn = max(1, math.ceil(math.log2(max(n, 2))))
+    return min(universe_bits, 2 * logn + 8)
+
+
+def counter_bits_for(n: int) -> int:
+    """Width of a distance/rank/counter field (values in ``0..n``)."""
+    return max(1, math.ceil(math.log2(max(n + 1, 2))))
+
+
+class SizeContext:
+    """Field widths for one network size, passed to label size formulas."""
+
+    def __init__(self, n: int, universe_bits: int = 32, class_count: int = 1):
+        self.n = n
+        self.id_bits = id_bits_for(n, universe_bits)
+        self.counter_bits = counter_bits_for(n)
+        # Homomorphism classes are a finite set for fixed (property, k);
+        # a class field costs ceil(log2 |C|) bits.
+        self.class_bits = max(1, math.ceil(math.log2(max(class_count, 2))))
+
+    def __repr__(self) -> str:
+        return (
+            f"SizeContext(n={self.n}, id={self.id_bits}b, "
+            f"counter={self.counter_bits}b, class={self.class_bits}b)"
+        )
+
+
+class ClassIndexer:
+    """Assigns stable small indices to homomorphism-class fingerprints.
+
+    Both prover and verifier know the algebra, so the class set (for a
+    fixed property and lanewidth) is shared knowledge; certificates need
+    only ``ceil(log2 |C|)`` bits per class field.  The indexer materializes
+    that: classes are numbered in first-seen order during proving, and the
+    final ``bits_per_class`` is the honest field width.
+    """
+
+    def __init__(self):
+        self._index: dict = {}
+
+    def index_of(self, fingerprint: str) -> int:
+        if fingerprint not in self._index:
+            self._index[fingerprint] = len(self._index)
+        return self._index[fingerprint]
+
+    @property
+    def class_count(self) -> int:
+        return max(1, len(self._index))
+
+    @property
+    def bits_per_class(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.class_count, 2))))

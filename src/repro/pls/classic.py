@@ -1,0 +1,166 @@
+"""Classic proof labeling schemes from the introduction and related work.
+
+* :class:`BipartitenessScheme` — the paper's one-bit example (Section 1.1).
+* :class:`AcyclicityScheme` — per-component root + distance labels; the
+  standard forest certification.
+* :class:`SpanningTreeScheme` — verifying that the edges input-labeled
+  ``"tree"`` form a spanning tree, the original motivation of [KKP10].
+
+These serve three purposes: unit-level validation of the simulator,
+baselines for the adversary harness, and pedagogical examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mso.properties import is_bipartite
+from repro.pls.bits import SizeContext
+from repro.pls.model import Configuration, LocalView
+from repro.pls.scheme import Labeling, ProofLabelingScheme, ProverFailure
+
+TREE_MARK = "tree"
+
+
+class BipartitenessScheme(ProofLabelingScheme):
+    """One-bit certificates: a proper 2-coloring (Section 1.1)."""
+
+    label_location = "vertices"
+
+    def prove(self, config: Configuration) -> Labeling:
+        graph = config.graph
+        if not is_bipartite(graph):
+            raise ProverFailure("graph is not bipartite")
+        color: dict = {}
+        for start in graph.vertices():
+            if start in color:
+                continue
+            color[start] = 0
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in graph.neighbors(u):
+                    if w not in color:
+                        color[w] = 1 - color[u]
+                        stack.append(w)
+        return Labeling("vertices", color, SizeContext(config.n))
+
+    def verify(self, view: LocalView) -> bool:
+        if view.own_certificate not in (0, 1):
+            return False
+        return all(c == 1 - view.own_certificate for c in view.neighbor_certificates)
+
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class RootedDistanceLabel:
+    """Certificate: component root id + BFS distance to it."""
+
+    root_id: int
+    dist: int
+
+
+class AcyclicityScheme(ProofLabelingScheme):
+    """Certifies that the graph is a forest.
+
+    Every component is rooted at its minimum-id vertex; labels carry
+    ``(root_id, dist)``.  A vertex at distance ``d > 0`` checks that
+    exactly one neighbor is at ``d - 1`` and every other neighbor is at
+    ``d + 1``; the root checks all neighbors are at distance 1 and that
+    its own identifier equals the root id.  On any cycle some vertex sees
+    either two parents or a non-child sibling, so acceptance everywhere
+    forces a forest.
+    """
+
+    label_location = "vertices"
+
+    def prove(self, config: Configuration) -> Labeling:
+        graph = config.graph
+        if not graph.is_forest():
+            raise ProverFailure("graph has a cycle")
+        mapping: dict = {}
+        for component in graph.connected_components():
+            root = min(component, key=lambda v: config.ids[v])
+            distances = graph.distances_from(root)
+            for v in component:
+                mapping[v] = RootedDistanceLabel(config.ids[root], distances[v])
+        return Labeling("vertices", mapping, SizeContext(config.n))
+
+    def verify(self, view: LocalView) -> bool:
+        own = view.own_certificate
+        if not isinstance(own, RootedDistanceLabel) or own.dist < 0:
+            return False
+        neighbors = view.neighbor_certificates
+        if any(
+            not isinstance(c, RootedDistanceLabel) or c.root_id != own.root_id
+            for c in neighbors
+        ):
+            return False
+        if own.dist == 0:
+            if view.identifier != own.root_id:
+                return False
+            return all(c.dist == 1 for c in neighbors)
+        parents = sum(1 for c in neighbors if c.dist == own.dist - 1)
+        children = sum(1 for c in neighbors if c.dist == own.dist + 1)
+        return parents == 1 and parents + children == len(neighbors)
+
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        return ctx.id_bits + ctx.counter_bits
+
+
+class SpanningTreeScheme(ProofLabelingScheme):
+    """Certifies that the ``"tree"``-marked edges form a spanning tree.
+
+    The original application of proof labeling schemes [KKP10]: the input
+    (a candidate tree, e.g. a routing structure) is marked on the edges;
+    certificates prove global correctness.  Labels are ``(root_id, dist)``
+    with distances measured in the marked subgraph; the port-numbered view
+    correlates each neighbor's certificate with the mark of the shared
+    edge.
+    """
+
+    label_location = "vertices"
+
+    def prove(self, config: Configuration) -> Labeling:
+        graph = config.graph
+        marked = [
+            (u, v) for u, v in graph.edges() if graph.edge_label(u, v) == TREE_MARK
+        ]
+        tree = graph.edge_subgraph(marked)
+        if not tree.is_tree():
+            raise ProverFailure("marked edges are not a spanning tree")
+        root = min(graph.vertices(), key=lambda v: config.ids[v])
+        distances = tree.distances_from(root)
+        mapping = {
+            v: RootedDistanceLabel(config.ids[root], distances[v])
+            for v in graph.vertices()
+        }
+        return Labeling("vertices", mapping, SizeContext(config.n))
+
+    def verify(self, view: LocalView) -> bool:
+        own = view.own_certificate
+        if not isinstance(own, RootedDistanceLabel) or own.dist < 0:
+            return False
+        # Root id must be globally consistent (the graph is connected, so
+        # pairwise neighbor agreement propagates).
+        tree_dists = []
+        for port in view.ports:
+            cert = port.certificate
+            if not isinstance(cert, RootedDistanceLabel):
+                return False
+            if cert.root_id != own.root_id:
+                return False
+            if port.input_label == TREE_MARK:
+                tree_dists.append(cert.dist)
+        if own.dist == 0:
+            return view.identifier == own.root_id and all(
+                d == 1 for d in tree_dists
+            )
+        parents = sum(1 for d in tree_dists if d == own.dist - 1)
+        children = sum(1 for d in tree_dists if d == own.dist + 1)
+        return parents == 1 and parents + children == len(tree_dists)
+
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        return ctx.id_bits + ctx.counter_bits

@@ -1,0 +1,158 @@
+"""The KKP Omega(log n) lower bound, demonstrated constructively.
+
+Any proof labeling scheme that accepts all paths and rejects all cycles
+needs Omega(log n)-bit labels [KKP10].  The counting heart of the proof is
+a cut-and-splice argument: if labels have ``b`` bits, a path on ``n``
+vertices has ``n - 1`` consecutive label pairs but only ``2^{2b}``
+distinct pair values, so for ``n - 1 > 2^{2b}`` two disjoint positions
+``i < j`` carry identical pairs ``(ℓ_i, ℓ_{i+1}) = (ℓ_j, ℓ_{j+1})``; the
+segment ``v_{i+1} … v_j`` closed into a cycle presents every vertex with
+exactly the local view it had on the path, so the verifier accepts a
+cycle — contradiction.
+
+:func:`splice_attack` performs exactly this surgery against any concrete
+vertex-labeled scheme.  :class:`TruncatedDistanceScheme` is the natural
+scheme family to attack: with distances truncated at ``cap`` it uses
+``ceil(log2(cap+1))``-bit labels, is complete and sound while
+``cap >= n - 1`` (distinct labels force an endpoint), and is broken by the
+splice the moment truncation introduces a collision — tracing the exact
+bit threshold the theorem predicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphs import Graph
+from repro.graphs.generators import assign_random_ids, path_graph
+from repro.pls.bits import SizeContext, uint_bits
+from repro.pls.model import Configuration, LocalView
+from repro.pls.scheme import Labeling, ProofLabelingScheme, ProverFailure
+from repro.pls.simulator import run_verification
+
+
+class DistanceModScheme(ProofLabelingScheme):
+    """Certifies "the graph is a path" with ``ceil(log2 M)``-bit labels.
+
+    Labels: distance from the lower-id endpoint, **mod M**.  A vertex
+    labeled ``c`` accepts iff its degree is at most 2 and either
+
+    * exactly one neighbor is labeled ``(c-1) mod M`` and every other
+      neighbor ``(c+1) mod M`` (interior vertices and the far endpoint), or
+    * it has degree 1 with its neighbor labeled ``(c+1) mod M`` (the near
+      endpoint).
+
+    Completeness holds for every ``M >= 3``.  Soundness holds exactly
+    against cycles whose length is *not* divisible by ``M`` (an accepted
+    cycle forces a consistent +/-1 gradient, whose increments must sum to
+    0 mod M around the cycle) — so with ``M >= n`` the scheme is a correct
+    path-vs-cycle PLS on n-vertex networks.  Below that, consecutive label
+    pairs repeat with period ``M`` and :func:`splice_attack` forges an
+    accepted cycle of length ``M`` — the pigeonhole of [KKP10] made
+    concrete: correct schemes in this family need ``log2 n`` bits.
+    """
+
+    label_location = "vertices"
+
+    def __init__(self, modulus: int):
+        if modulus < 3:
+            raise ValueError("modulus must be at least 3")
+        self.modulus = modulus
+
+    def prove(self, config: Configuration) -> Labeling:
+        graph = config.graph
+        if not graph.is_path_graph():
+            raise ProverFailure("graph is not a path")
+        endpoints = [v for v in graph.vertices() if graph.degree(v) <= 1]
+        start = min(endpoints, key=lambda v: config.ids[v])
+        distances = graph.distances_from(start)
+        mapping = {v: d % self.modulus for v, d in distances.items()}
+        return Labeling("vertices", mapping, SizeContext(config.n))
+
+    def verify(self, view: LocalView) -> bool:
+        c = view.own_certificate
+        if not isinstance(c, int) or not 0 <= c < self.modulus:
+            return False
+        if view.degree > 2 or view.degree == 0:
+            return view.degree == 0  # a single vertex is a (trivial) path
+        down = (c - 1) % self.modulus
+        up = (c + 1) % self.modulus
+        nbrs = list(view.neighbor_certificates)
+        if nbrs.count(down) == 1 and nbrs.count(up) == len(nbrs) - 1:
+            return True
+        return view.degree == 1 and nbrs[0] == up
+
+    def label_size_bits(self, label, ctx: SizeContext) -> int:
+        return uint_bits(self.modulus - 1)
+
+
+@dataclass
+class SpliceOutcome:
+    """Result of one splice attempt."""
+
+    collision_found: bool
+    cycle_accepted: bool
+    cycle_length: int = 0
+    positions: Optional[tuple] = None
+
+
+def find_collision(labels_in_order: list) -> Optional[tuple]:
+    """Return positions ``i < j`` with equal consecutive label pairs.
+
+    Positions must satisfy ``j - i >= 3`` so the spliced cycle has at
+    least three vertices.
+    """
+    seen: dict = {}
+    for i in range(len(labels_in_order) - 1):
+        pair = (repr(labels_in_order[i]), repr(labels_in_order[i + 1]))
+        if pair in seen and i - seen[pair] >= 3:
+            return (seen[pair], i)
+        if pair not in seen:
+            seen[pair] = i
+    return None
+
+
+def splice_attack(
+    scheme: ProofLabelingScheme,
+    n: int,
+    rng: Optional[random.Random] = None,
+) -> SpliceOutcome:
+    """Mount the cut-and-splice attack on a path-accepting scheme.
+
+    Builds the path on ``n`` vertices, runs the honest prover, searches for
+    a repeated consecutive label pair, splices the enclosed segment into a
+    cycle (reusing the very same identifiers and certificates), and runs
+    the verifier on the forged configuration.
+    """
+    rng = rng or random.Random(0)
+    graph = path_graph(n)
+    config = Configuration.with_random_ids(graph, rng)
+    labeling = scheme.prove(config)
+    order = list(range(n))  # path vertices in order 0..n-1
+    labels_in_order = [labeling.mapping[v] for v in order]
+    hit = find_collision(labels_in_order)
+    if hit is None:
+        return SpliceOutcome(collision_found=False, cycle_accepted=False)
+    i, j = hit
+    segment = order[i + 1 : j + 1]
+    cycle = Graph(vertices=segment)
+    for a, b in zip(segment, segment[1:]):
+        cycle.add_edge(a, b)
+    cycle.add_edge(segment[-1], segment[0])
+    forged_config = Configuration(
+        cycle, {v: config.ids[v] for v in segment}
+    )
+    forged_labeling = Labeling(
+        labeling.location,
+        {v: labeling.mapping[v] for v in segment},
+        labeling.size_context,
+    )
+    result = run_verification(forged_config, scheme, forged_labeling)
+    return SpliceOutcome(
+        collision_found=True,
+        cycle_accepted=result.accepted,
+        cycle_length=len(segment),
+        positions=(i, j),
+    )

@@ -1,0 +1,136 @@
+"""Configurations and local views — the PLS communication model.
+
+Section 1.1: a configuration is a connected graph ``G`` with a state
+assignment; each vertex's state contains a distinct O(log n)-bit
+identifier plus the input labels of the vertex and its incident edges.
+During verification a vertex sees its own state, its own certificate, and
+the certificates arriving over its incident edges — nothing else.
+
+Modeling note (documented in DESIGN.md): certificates are delivered
+*per port*.  A vertex can tell which incident edge carried which
+certificate (and knows that edge's input label), but it cannot see the
+neighbor's identifier unless the certificate itself mentions it.  This is
+the standard port-numbered LOCAL reception and is equivalent to the
+paper's multiset formulation for all upper and lower bounds reproduced
+here (certificates that need correlation carry endpoint IDs explicitly,
+paying for them inside the measured label size).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.graphs import Graph, edge_key
+from repro.graphs.generators import assign_random_ids
+
+
+@dataclass
+class Configuration:
+    """A network: graph + distinct vertex identifiers (+ input labels).
+
+    Input labels live on the graph itself (``Graph.vertex_label`` /
+    ``Graph.edge_label``); identifiers are kept separate because the
+    prover cannot choose them.
+    """
+
+    graph: Graph
+    ids: dict
+
+    def __post_init__(self):
+        vertices = set(self.graph.vertices())
+        if set(self.ids) != vertices:
+            raise ValueError("ids must cover exactly the vertex set")
+        if len(set(self.ids.values())) != len(self.ids):
+            raise ValueError("identifiers must be distinct")
+
+    @classmethod
+    def with_random_ids(
+        cls, graph: Graph, rng: Optional[random.Random] = None, universe_bits: int = 32
+    ) -> "Configuration":
+        """Attach fresh random distinct IDs to ``graph``."""
+        return cls(graph, assign_random_ids(graph, rng, universe_bits))
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def vertex_of_id(self, identifier: int):
+        """Return the vertex carrying ``identifier`` (test helper)."""
+        for v, x in self.ids.items():
+            if x == identifier:
+                return v
+        raise KeyError(f"no vertex has id {identifier}")
+
+
+@dataclass(frozen=True)
+class EdgePort:
+    """One incident edge as seen by a vertex: input label + certificate."""
+
+    input_label: object
+    certificate: object
+
+
+@dataclass
+class LocalView:
+    """Everything one vertex sees during the verification round."""
+
+    identifier: int
+    vertex_input_label: object
+    degree: int
+    n_hint: int  # |V| is common knowledge up to a constant factor (log n bits)
+    own_certificate: object = None  # vertex-labeled schemes only
+    neighbor_certificates: tuple = ()  # vertex-labeled schemes: multiset
+    ports: tuple = ()  # edge-labeled schemes: EdgePort per incident edge
+
+
+def build_vertex_view(
+    config: Configuration, vertex, labeling: dict
+) -> LocalView:
+    """Local view for a vertex-labeled scheme.
+
+    ``ports`` pairs each incident edge's input label with the certificate
+    of the neighbor behind it (port-numbered reception); the plain
+    neighbor-certificate multiset is also provided for schemes that do not
+    need the correlation.
+    """
+    graph = config.graph
+    neighbors = sorted(graph.neighbors(vertex))
+    ports = tuple(
+        EdgePort(
+            input_label=graph.edge_label(*edge_key(vertex, u)),
+            certificate=labeling.get(u),
+        )
+        for u in neighbors
+    )
+    return LocalView(
+        identifier=config.ids[vertex],
+        vertex_input_label=graph.vertex_label(vertex),
+        degree=len(neighbors),
+        n_hint=graph.n,
+        own_certificate=labeling.get(vertex),
+        neighbor_certificates=tuple(labeling.get(u) for u in neighbors),
+        ports=ports,
+    )
+
+
+def build_edge_view(config: Configuration, vertex, labeling: dict) -> LocalView:
+    """Local view for an edge-labeled scheme."""
+    graph = config.graph
+    ports = []
+    for u in sorted(graph.neighbors(vertex)):
+        key = edge_key(vertex, u)
+        ports.append(
+            EdgePort(
+                input_label=graph.edge_label(*key),
+                certificate=labeling.get(key),
+            )
+        )
+    return LocalView(
+        identifier=config.ids[vertex],
+        vertex_input_label=graph.vertex_label(vertex),
+        degree=len(ports),
+        n_hint=graph.n,
+        ports=tuple(ports),
+    )

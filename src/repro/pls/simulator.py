@@ -1,0 +1,46 @@
+"""The verification-round simulator.
+
+One round: every vertex receives its local view and outputs accept or
+reject; the scheme accepts iff all vertices accept (Section 1.1).  The
+simulator is the only code that touches global state — verifiers get a
+:class:`LocalView` and nothing else, which keeps the locality guarantee
+auditable.
+"""
+
+from __future__ import annotations
+
+from repro.pls.model import Configuration, build_edge_view, build_vertex_view
+from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
+
+
+def run_verification(
+    config: Configuration,
+    scheme: ProofLabelingScheme,
+    labeling: Labeling,
+) -> VerificationResult:
+    """Run the distributed verification round and collect verdicts."""
+    if labeling.location != scheme.label_location:
+        raise ValueError(
+            f"labeling location {labeling.location!r} does not match the "
+            f"scheme's {scheme.label_location!r}"
+        )
+    build_view = (
+        build_vertex_view if scheme.label_location == "vertices" else build_edge_view
+    )
+    verdicts = {}
+    for vertex in config.graph.vertices():
+        view = build_view(config, vertex, labeling.mapping)
+        try:
+            verdicts[vertex] = bool(scheme.verify(view))
+        except Exception:
+            # A verifier choking on malformed (adversarial) labels rejects:
+            # soundness must hold against arbitrary labelings.
+            verdicts[vertex] = False
+    return VerificationResult(verdicts=verdicts, accepted=all(verdicts.values()))
+
+
+def prove_and_verify(config: Configuration, scheme: ProofLabelingScheme):
+    """Convenience: run the honest prover then the verification round."""
+    labeling = scheme.prove(config)
+    result = run_verification(config, scheme, labeling)
+    return labeling, result

@@ -1,0 +1,132 @@
+"""Tests for the baselines and the experiment harness."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import FMRTScheme, UniversalScheme
+from repro.core.lanewidth import interval_representation_of
+from repro.experiments import (
+    Table,
+    fit_log_slope,
+    lanewidth_workload,
+    pathwidth_workload,
+    property_truth,
+)
+from repro.experiments.reporting import series
+from repro.graphs.generators import cycle_graph
+from repro.pathwidth import PathDecomposition
+from repro.pls.adversary import corrupt_one_label
+from repro.pls.model import Configuration
+from repro.pls.scheme import ProverFailure
+from repro.pls.simulator import prove_and_verify, run_verification
+
+
+class TestFMRT:
+    def test_completeness(self):
+        rng = random.Random(1)
+        for n in (20, 60):
+            graph, decomposition = pathwidth_workload(n, 2, seed=n)
+            config = Configuration.with_random_ids(graph, rng)
+            scheme = FMRTScheme("connected", 2, decomposer=lambda _g: decomposition)
+            labeling, result = prove_and_verify(config, scheme)
+            assert result.accepted
+
+    def test_prover_fails_on_false_property(self):
+        graph, decomposition = pathwidth_workload(15, 2, seed=3)
+        config = Configuration.with_random_ids(graph, random.Random(3))
+        scheme = FMRTScheme("acyclic", 2, decomposer=lambda _g: decomposition)
+        if not graph.is_forest():
+            with pytest.raises(ProverFailure):
+                scheme.prove(config)
+
+    def test_label_growth_is_superlogarithmic(self):
+        """FMRT labels grow strictly faster than log n (the log² signature)."""
+        sizes = (32, 512)
+        ratios = []
+        for n in sizes:
+            graph, decomposition = pathwidth_workload(n, 2, seed=n)
+            config = Configuration.with_random_ids(graph, random.Random(n))
+            scheme = FMRTScheme("connected", 2, decomposer=lambda _g: decomposition)
+            labeling, _result = prove_and_verify(config, scheme)
+            ratios.append(labeling.max_label_bits(scheme) / math.log2(n))
+        assert ratios[1] > ratios[0]
+
+    def test_corruption_mostly_rejected(self):
+        rng = random.Random(5)
+        graph, decomposition = pathwidth_workload(20, 2, seed=9)
+        config = Configuration.with_random_ids(graph, rng)
+        scheme = FMRTScheme("connected", 2, decomposer=lambda _g: decomposition)
+        labeling, _ = prove_and_verify(config, scheme)
+        rejected = trials = 0
+        for _ in range(15):
+            bad = corrupt_one_label(labeling, rng)
+            if bad.mapping == labeling.mapping:
+                continue
+            trials += 1
+            if not run_verification(config, scheme, bad).accepted:
+                rejected += 1
+        assert rejected >= trials // 2  # size comparator: partial soundness
+
+
+class TestUniversal:
+    def test_completeness_and_size(self):
+        rng = random.Random(2)
+        config = Configuration.with_random_ids(cycle_graph(20), rng)
+        scheme = UniversalScheme(lambda g: g.is_connected())
+        labeling, result = prove_and_verify(config, scheme)
+        assert result.accepted
+        # Theta(m * log n): 20 edges, two ids each, plus the vertex list.
+        assert labeling.max_label_bits(scheme) >= 40 * 10
+
+    def test_rejects_wrong_structure(self):
+        rng = random.Random(3)
+        config = Configuration.with_random_ids(cycle_graph(10), rng)
+        scheme = UniversalScheme(lambda g: g.is_connected())
+        labeling, _ = prove_and_verify(config, scheme)
+        g2 = config.graph.copy()
+        g2.remove_edge(0, 1)
+        result = run_verification(Configuration(g2, config.ids), scheme, labeling)
+        assert not result.accepted
+
+    def test_prover_fails(self):
+        from repro.graphs import Graph
+
+        g = Graph(vertices=[0, 1])
+        config = Configuration.with_random_ids(g, random.Random(4))
+        scheme = UniversalScheme(lambda x: x.is_connected())
+        with pytest.raises(ProverFailure):
+            scheme.prove(config)
+
+
+class TestHarness:
+    def test_workloads(self):
+        seq, graph = lanewidth_workload(3, 40, seed=1)
+        assert graph.n >= 40
+        graph2, decomposition = pathwidth_workload(25, 2, seed=2)
+        assert decomposition.width() <= 2
+        truth = property_truth(graph2)
+        assert truth["connected"] is True
+
+    def test_interval_representation_of_sequence(self):
+        seq, graph = lanewidth_workload(3, 30, seed=5)
+        rep = interval_representation_of(seq)
+        rep.validate()
+        assert rep.width() <= seq.width + 1
+        decomposition = PathDecomposition.from_interval_representation(rep)
+        assert decomposition.width() <= seq.width
+
+    def test_table_render(self):
+        table = Table("demo", ["a", "b"])
+        table.add(1, 2)
+        text = table.render()
+        assert "demo" in text and "| 1 | 2 |" in text
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_series_and_slope(self):
+        assert "series: s (2, 4)" == series("s", [(2, 4)])
+        # y = 3*log2(x): slope must be ~3.
+        points = [(2**i, 3 * i) for i in range(1, 8)]
+        assert abs(fit_log_slope(points) - 3) < 1e-9

@@ -1,0 +1,155 @@
+"""Tests for graph generators, including witness-decomposition guarantees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    assign_random_ids,
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    enumerate_graphs,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    random_caterpillar,
+    random_connected_gnp,
+    random_pathwidth_graph,
+    random_tree,
+    spider_graph,
+    star_graph,
+)
+from repro.pathwidth import PathDecomposition
+from repro.pathwidth.exact import exact_pathwidth
+
+
+class TestClassicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.is_path_graph()
+
+    def test_path_single_vertex(self):
+        assert path_graph(1).n == 1
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert g.is_cycle_graph()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.is_tree()
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.m == 6
+        assert not g.has_edge(0, 1)
+
+    def test_ladder(self):
+        g = ladder_graph(4)
+        assert g.n == 8
+        assert g.m == 3 + 3 + 4
+        assert exact_pathwidth(g) == 2
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4
+        assert exact_pathwidth(g) == 3
+
+    def test_caterpillar_pathwidth_one(self):
+        g = caterpillar_graph(5, 2)
+        assert g.is_tree()
+        assert exact_pathwidth(g) == 1
+
+    def test_spider(self):
+        g = spider_graph(3, 2)
+        assert g.n == 7
+        assert g.degree(0) == 3
+        assert exact_pathwidth(g) == 2
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.is_tree()
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        rng = random.Random(7)
+        for n in (1, 2, 3, 10, 40):
+            assert random_tree(n, rng).is_tree()
+
+    def test_random_caterpillar_pathwidth(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            g = random_caterpillar(12, rng)
+            assert g.is_tree()
+            assert exact_pathwidth(g) <= 1
+
+    def test_random_connected_gnp(self):
+        rng = random.Random(5)
+        g = random_connected_gnp(15, 0.1, rng)
+        assert g.is_connected()
+
+    def test_random_pathwidth_graph_witness(self):
+        rng = random.Random(11)
+        for k in (1, 2, 3):
+            g, bags = random_pathwidth_graph(30, k, rng)
+            decomposition = PathDecomposition(g, bags)  # validates (P1),(P2)
+            assert decomposition.width() <= k
+            assert g.is_connected()
+
+    def test_random_pathwidth_tight_for_small_k(self):
+        rng = random.Random(13)
+        g, bags = random_pathwidth_graph(14, 2, rng)
+        assert exact_pathwidth(g) <= 2
+
+    @given(st.integers(min_value=1, max_value=25), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_pathwidth_graph_properties(self, n, k):
+        g, bags = random_pathwidth_graph(n, k, random.Random(n * 31 + k))
+        assert g.n == n
+        assert g.is_connected()
+        assert PathDecomposition(g, bags).width() <= k
+
+
+class TestEnumeration:
+    def test_enumerate_counts(self):
+        # 4 labeled connected graphs on 3 vertices: 3 paths + triangle.
+        graphs = list(enumerate_graphs(3))
+        assert len(graphs) == 4
+
+    def test_enumerate_all_graphs(self):
+        graphs = list(enumerate_graphs(3, connected_only=False))
+        assert len(graphs) == 8
+
+    def test_enumerate_connected(self):
+        assert all(g.is_connected() for g in enumerate_graphs(4))
+
+
+class TestIds:
+    def test_ids_distinct(self):
+        g = complete_graph(8)
+        ids = assign_random_ids(g, random.Random(1))
+        assert len(set(ids.values())) == g.n
+
+    def test_ids_cover_vertices(self):
+        g = path_graph(5)
+        ids = assign_random_ids(g, random.Random(2))
+        assert set(ids) == set(g.vertices())

@@ -1,0 +1,170 @@
+"""Tests for minor containment: structural shortcuts vs general search."""
+
+import random
+
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    random_caterpillar,
+    spider_graph,
+    star_graph,
+)
+from repro.graphs.minors import (
+    _spider_leg_lengths,
+    contains_minor,
+    excluded_forest_pathwidth_bound,
+    find_minor_model,
+    is_minor_free,
+)
+
+
+def _validate_model(graph, pattern, model):
+    """Check the definition of a minor model directly."""
+    used = set()
+    for h, branch in model.items():
+        assert branch, "empty branch set"
+        assert not (branch & used), "overlapping branch sets"
+        used |= branch
+        assert graph.induced_subgraph(branch).is_connected()
+    for a, b in pattern.edges():
+        assert any(
+            graph.has_edge(u, v) for u in model[a] for v in model[b]
+        ), f"pattern edge {a}-{b} not realized"
+
+
+class TestGeneralSearch:
+    def test_k3_in_cycle_model(self):
+        g = cycle_graph(6)
+        model = find_minor_model(g, complete_graph(3))
+        assert model is not None
+        _validate_model(g, complete_graph(3), model)
+
+    def test_k4_in_grid_model(self):
+        g = grid_graph(3, 3)
+        model = find_minor_model(g, complete_graph(4))
+        assert model is not None
+        _validate_model(g, complete_graph(4), model)
+
+    def test_k4_not_in_ladder(self):
+        assert find_minor_model(ladder_graph(4), complete_graph(4)) is None
+
+    def test_k23_in_cycle_with_chord(self):
+        g = cycle_graph(6)
+        g.add_edge(0, 3)
+        assert contains_minor(g, complete_bipartite_graph(2, 3)) is False
+        g.add_edge(1, 4)
+        assert contains_minor(g, complete_bipartite_graph(2, 3)) is True
+
+    def test_pattern_larger_than_host(self):
+        assert find_minor_model(path_graph(3), complete_graph(4)) is None
+
+    def test_empty_pattern(self):
+        assert find_minor_model(path_graph(3), Graph()) == {}
+
+    def test_disconnected_pattern(self):
+        two_edges = Graph(edges=[(0, 1), (2, 3)])
+        assert contains_minor(path_graph(5), two_edges)
+        assert not contains_minor(path_graph(2), two_edges)
+
+
+class TestShortcuts:
+    def test_path_minor_is_subpath(self):
+        assert contains_minor(cycle_graph(9), path_graph(9))
+        assert not contains_minor(cycle_graph(9), path_graph(10))
+        assert contains_minor(binary_tree_graph(2), path_graph(5))
+
+    def test_k3_is_cycle(self):
+        assert contains_minor(cycle_graph(3), complete_graph(3))
+        assert not contains_minor(binary_tree_graph(3), complete_graph(3))
+
+    def test_star_needs_connected_neighborhood(self):
+        # No degree-4 vertex, but contracting the central edge gives one.
+        double_star = Graph(edges=[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)])
+        assert contains_minor(double_star, star_graph(4))
+        assert not contains_minor(path_graph(10), star_graph(3))
+        assert contains_minor(star_graph(5), star_graph(5))
+        assert not contains_minor(star_graph(4), star_graph(5))
+
+    def test_spider_leg_detection(self):
+        assert sorted(_spider_leg_lengths(spider_graph(3, 2))) == [2, 2, 2]
+        assert _spider_leg_lengths(star_graph(3)) == [1, 1, 1]
+        assert _spider_leg_lengths(path_graph(5)) is None
+        assert _spider_leg_lengths(caterpillar_graph(3, 2)) is None
+
+    def test_spider_in_trees(self):
+        spider = spider_graph(3, 2)
+        assert contains_minor(binary_tree_graph(3), spider)
+        assert not contains_minor(caterpillar_graph(8, 3), spider)
+        assert contains_minor(spider_graph(3, 3), spider)
+
+    def test_spider_in_cycle_is_absent(self):
+        assert not contains_minor(cycle_graph(12), spider_graph(3, 2))
+
+    def test_caterpillars_are_spider_free(self):
+        rng = random.Random(2)
+        spider = spider_graph(3, 2)
+        for _ in range(10):
+            g = random_caterpillar(20, rng)
+            assert is_minor_free(g, spider)
+
+
+class TestAgreementWithGeneralSearch:
+    """Shortcut paths must agree with the exponential general search."""
+
+    @pytest.mark.parametrize(
+        "host",
+        [
+            path_graph(7),
+            cycle_graph(7),
+            star_graph(5),
+            caterpillar_graph(3, 1),
+            spider_graph(3, 2),
+            binary_tree_graph(2),
+            ladder_graph(3),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            path_graph(4),
+            star_graph(3),
+            spider_graph(3, 1),
+            spider_graph(3, 2),
+            complete_graph(3),
+        ],
+    )
+    def test_shortcuts_match_search(self, host, pattern):
+        expected = find_minor_model(host, pattern) is not None
+        assert contains_minor(host, pattern) == expected
+
+
+class TestExcludedForestBound:
+    def test_star(self):
+        assert excluded_forest_pathwidth_bound(star_graph(3)) == 2
+
+    def test_path(self):
+        assert excluded_forest_pathwidth_bound(path_graph(5)) == 3
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            excluded_forest_pathwidth_bound(cycle_graph(4))
+
+    def test_bound_holds_empirically(self):
+        # P5-minor-free graphs have pathwidth <= 3: spot-check small hosts.
+        from repro.pathwidth.exact import exact_pathwidth
+
+        pattern = path_graph(5)
+        bound = excluded_forest_pathwidth_bound(pattern)
+        hosts = [star_graph(6), complete_graph(4), caterpillar_graph(2, 3)]
+        for host in hosts:
+            if is_minor_free(host, pattern):
+                assert exact_pathwidth(host) <= bound

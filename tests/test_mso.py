@@ -1,0 +1,237 @@
+"""Tests for the MSO2 syntax, parser, semantics, and property zoo."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    enumerate_graphs,
+    path_graph,
+    star_graph,
+)
+from repro.mso import (
+    Adj,
+    And,
+    EdgeSetVar,
+    EdgeVar,
+    Eq,
+    Exists,
+    ForAll,
+    In,
+    Inc,
+    Not,
+    VertexSetVar,
+    VertexVar,
+    check_formula,
+    parse_formula,
+)
+from repro.mso.parser import ParseError
+from repro.mso.properties import (
+    PROPERTY_ZOO,
+    is_bipartite,
+    is_caterpillar_forest,
+    is_q_colorable,
+    has_dominating_set_at_most,
+    has_hamiltonian_cycle,
+    has_hamiltonian_path,
+    has_independent_set_at_least,
+    has_perfect_matching,
+    has_vertex_cover_at_most,
+)
+from repro.mso.syntax import HasLabel, quantifier_depth
+
+
+class TestSyntax:
+    def test_sort_check_in(self):
+        with pytest.raises(TypeError):
+            In(VertexVar("v"), EdgeSetVar("F"))
+
+    def test_sort_check_eq(self):
+        with pytest.raises(TypeError):
+            Eq(VertexVar("v"), EdgeVar("e"))
+
+    def test_sort_check_adj(self):
+        with pytest.raises(TypeError):
+            Adj(VertexVar("v"), EdgeVar("e"))
+
+    def test_free_variables(self):
+        v, u = VertexVar("v"), VertexVar("u")
+        f = Exists(v, Adj(v, u))
+        assert f.free_variables() == frozenset({u})
+
+    def test_operators(self):
+        v, u = VertexVar("v"), VertexVar("u")
+        f = Adj(v, u) & ~Eq(v, u)
+        assert isinstance(f, And)
+        assert isinstance(f.right, Not)
+
+    def test_quantifier_depth(self):
+        f = parse_formula("forall u:V. exists v:V. adj(u,v)")
+        assert quantifier_depth(f) == 2
+
+
+class TestParser:
+    def test_simple(self):
+        f = parse_formula("forall v:V. v = v")
+        assert check_formula(path_graph(2), f)
+
+    def test_unbound_variable(self):
+        with pytest.raises(ParseError):
+            parse_formula("adj(u, v)")
+
+    def test_free_declarations(self):
+        f = parse_formula("adj(u, v)", free={"u": "V", "v": "V"})
+        g = path_graph(2)
+        assert check_formula(g, f, {VertexVar("u"): 0, VertexVar("v"): 1})
+
+    def test_neq(self):
+        f = parse_formula("forall u:V, v:V. adj(u,v) -> u != v")
+        assert check_formula(cycle_graph(4), f)
+
+    def test_implication_right_assoc(self):
+        # a -> b -> c parses as a -> (b -> c).  With a=False, c=False:
+        # right-assoc gives True, left-assoc would give False.
+        f = parse_formula("forall u:V. u != u -> u = u -> u != u")
+        assert check_formula(path_graph(2), f)
+
+    def test_quantifier_wide_scope(self):
+        # exists binds everything to its right.
+        f = parse_formula("exists v:V. v in S & v = v", free={"S": "SV"})
+        g = path_graph(2)
+        assert check_formula(g, f, {VertexSetVar("S"): frozenset({0})})
+        assert not check_formula(g, f, {VertexSetVar("S"): frozenset()})
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_formula("forall v:V. v = v v")
+
+    def test_bad_sort(self):
+        with pytest.raises(ParseError):
+            parse_formula("forall v:Q. v = v")
+
+    def test_edge_quantifiers(self):
+        f = parse_formula("forall e:E. exists v:V. inc(e, v)")
+        assert check_formula(cycle_graph(5), f)
+
+    def test_set_quantifier(self):
+        f = parse_formula("exists F:SE. forall e:E. e in F")
+        assert check_formula(path_graph(4), f)
+
+    def test_label_literal(self):
+        f = parse_formula("exists v:V. label(v) = 'red'")
+        g = path_graph(2)
+        assert not check_formula(g, f)
+        g.set_vertex_label(1, "red")
+        assert check_formula(g, f)
+
+
+class TestSemantics:
+    def test_unassigned_free_variable(self):
+        f = parse_formula("adj(u, v)", free={"u": "V", "v": "V"})
+        with pytest.raises(ValueError):
+            check_formula(path_graph(2), f)
+
+    def test_shadowing_restores_binding(self):
+        # exists v. (v in S & exists v. ~(v in S)): inner v shadows outer.
+        v = VertexVar("v")
+        S = VertexSetVar("S")
+        inner = Exists(v, Not(In(v, S)))
+        f = Exists(v, And(In(v, S), inner))
+        g = path_graph(2)
+        assert check_formula(g, f, {S: frozenset({0})})
+
+    def test_set_quantifier_limit(self):
+        f = parse_formula("exists S:SV. forall v:V. v in S")
+        with pytest.raises(ValueError):
+            check_formula(path_graph(20), f)
+
+    def test_inc_semantics(self):
+        f = parse_formula("forall e:E. exists u:V, v:V. inc(e,u) & inc(e,v) & u != v")
+        assert check_formula(star_graph(4), f)
+
+    def test_edge_label(self):
+        e = EdgeVar("e")
+        f = Exists(e, HasLabel(e, "virtual"))
+        g = path_graph(3)
+        assert not check_formula(g, f)
+        g.set_edge_label(0, 1, "virtual")
+        assert check_formula(g, f)
+
+
+class TestDirectCheckers:
+    def test_bipartite(self):
+        assert is_bipartite(path_graph(5))
+        assert is_bipartite(cycle_graph(6))
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_colorable(self):
+        assert is_q_colorable(cycle_graph(5), 3)
+        assert not is_q_colorable(complete_graph(4), 3)
+        assert is_q_colorable(complete_graph(4), 4)
+
+    def test_hamiltonian_path(self):
+        assert has_hamiltonian_path(path_graph(6))
+        assert has_hamiltonian_path(cycle_graph(6))
+        assert not has_hamiltonian_path(star_graph(3))
+
+    def test_hamiltonian_cycle(self):
+        assert has_hamiltonian_cycle(cycle_graph(5))
+        assert has_hamiltonian_cycle(complete_graph(4))
+        assert not has_hamiltonian_cycle(path_graph(5))
+        assert not has_hamiltonian_cycle(path_graph(2))
+
+    def test_perfect_matching(self):
+        assert has_perfect_matching(path_graph(4))
+        assert not has_perfect_matching(path_graph(3))
+        assert not has_perfect_matching(star_graph(3))
+        assert has_perfect_matching(cycle_graph(6))
+
+    def test_vertex_cover(self):
+        assert has_vertex_cover_at_most(star_graph(5), 1)
+        assert not has_vertex_cover_at_most(path_graph(5), 1)
+        assert has_vertex_cover_at_most(path_graph(5), 2)
+
+    def test_independent_set(self):
+        assert has_independent_set_at_least(star_graph(5), 5)
+        assert not has_independent_set_at_least(complete_graph(4), 2)
+
+    def test_dominating_set(self):
+        assert has_dominating_set_at_most(star_graph(5), 1)
+        assert not has_dominating_set_at_most(path_graph(7), 2)
+        assert has_dominating_set_at_most(path_graph(7), 3)
+
+    def test_caterpillar_forest(self):
+        from repro.graphs.generators import caterpillar_graph, spider_graph
+
+        assert is_caterpillar_forest(caterpillar_graph(5, 3))
+        assert is_caterpillar_forest(path_graph(7))
+        assert not is_caterpillar_forest(spider_graph(3, 2))
+        assert not is_caterpillar_forest(cycle_graph(4))
+
+
+class TestZooFormulaAgreement:
+    """Every stated formula must agree with its direct checker.
+
+    This is the semantic half of Proposition 2.4's correctness contract.
+    Exhaustive over all graphs on 3 vertices and all connected graphs on 4;
+    sampled (first 40) over all graphs on 4 vertices.
+    """
+
+    @pytest.mark.parametrize(
+        "name", [n for n, p in sorted(PROPERTY_ZOO.items()) if p.formula is not None]
+    )
+    def test_formula_matches_checker_n3(self, name):
+        prop = PROPERTY_ZOO[name]
+        for g in enumerate_graphs(3, connected_only=False):
+            assert prop.check(g) == check_formula(g, prop.formula), g.edges()
+
+    @pytest.mark.parametrize(
+        "name", [n for n, p in sorted(PROPERTY_ZOO.items()) if p.formula is not None]
+    )
+    def test_formula_matches_checker_n4_sample(self, name):
+        prop = PROPERTY_ZOO[name]
+        for g in itertools.islice(enumerate_graphs(4, connected_only=False), 40):
+            assert prop.check(g) == check_formula(g, prop.formula), g.edges()
