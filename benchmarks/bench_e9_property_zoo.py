@@ -5,11 +5,18 @@ labeled graphs with 4 vertices and on random composition sequences.
 The three columns correspond to the three semantics the reproduction
 implements independently: naive MSO model checking, direct polynomial
 checkers, and the finite-state homomorphism-class algebras.
+
+The second test runs the zoo end-to-end through ``repro.api``: one
+:class:`CertificationSession` batch-proves every property against each
+random host, so the structural stages run once per host — the
+certification verdicts must agree with the direct checkers.
 """
 
 import itertools
 import random
 
+from repro.api import CertificationSession
+from repro.core import apply_construction, random_lanewidth_sequence
 from repro.courcelle import algebra_for, random_op_sequence
 from repro.experiments import Table
 from repro.graphs.generators import enumerate_graphs
@@ -81,3 +88,59 @@ def test_e9_property_zoo(benchmark):
     table.show()
 
     benchmark(lambda: _zoo_agreement()[:3])
+
+
+# Properties batch-certified end-to-end (cheap algebras at lanewidth 2;
+# the table-based ones stay feasible because the hosts are small).
+BATCH_ZOO = [
+    ("connected", "connected"),
+    ("acyclic", "acyclic"),
+    ("bipartite", "bipartite"),
+    ("tree", "tree"),
+    ("even-order", "even-order"),
+    ("max-degree<=2", "max-degree-2"),
+    ("3-colorable", "colorable-3"),
+]
+
+
+def _batch_certified_agreement(trials: int) -> list:
+    keys = [key for _name, key in BATCH_ZOO]
+    rows = []
+    for prop_name, algebra_key in BATCH_ZOO:
+        rows.append([prop_name, algebra_key, 0, 0])
+    session_counters = {}
+    for t in range(trials):
+        rng = random.Random(0xE9 + t)
+        seq = random_lanewidth_sequence(2, rng.randrange(4, 14), rng)
+        graph = apply_construction(seq)
+        session = CertificationSession(rng=rng)
+        reports = session.certify(seq, keys)
+        # The batch shares one hierarchy: structural stages ran once.
+        assert session.stage_counters["hierarchy"] == 1
+        assert session.stage_counters["evaluate"] == len(keys)
+        for row, (prop_name, algebra_key) in zip(rows, BATCH_ZOO):
+            want = PROPERTY_ZOO[prop_name].check(graph)
+            got = reports[algebra_key].accepted
+            row[3] += 1
+            if got == want:
+                row[2] += 1
+        for name, count in session.stage_counters.items():
+            session_counters[name] = session_counters.get(name, 0) + count
+    return [
+        (name, key, f"{agree}/{total}", agree == total)
+        for name, key, agree, total in rows
+    ] + [("(stage totals)", str(session_counters), "", True)]
+
+
+def test_e9_batch_certification(benchmark):
+    table = Table(
+        "E9b: batch-certified verdicts vs direct checkers (one session/host)",
+        ["property", "algebra key", "certified==direct", "ok"],
+    )
+    rows = _batch_certified_agreement(trials=12)
+    for row in rows:
+        table.add(*row)
+        assert row[3], row
+    table.show()
+
+    benchmark(_batch_certified_agreement, 2)

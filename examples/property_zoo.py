@@ -3,21 +3,24 @@
 For each property of Section 1.2 the library provides (1) the MSO2
 formula, (2) an independent direct checker, and (3) a finite-state
 homomorphism-class algebra (Proposition 2.4).  This example evaluates
-all three on a caterpillar and a small grid and prints the agreement.
+all three on a caterpillar and a lanewidth-2 host and prints the
+agreement.
+
+The certification column is batch-proven through one
+:class:`repro.api.CertificationSession`: the structural stages (sequence
+match + hierarchy) run once for the host graph and every property reuses
+them — only algebra evaluation and labeling rerun per property.
 
 Run:  python examples/property_zoo.py
 """
 
 import random
 
-from repro.core import LanewidthScheme, random_lanewidth_sequence, apply_construction
-from repro.courcelle import algebra_for
+from repro.api import CertificationSession
+from repro.core import apply_construction, random_lanewidth_sequence
 from repro.graphs.generators import caterpillar_graph
 from repro.mso import check_formula
 from repro.mso.properties import PROPERTY_ZOO
-from repro.pls.model import Configuration
-from repro.pls.simulator import prove_and_verify
-from repro.pls.scheme import ProverFailure
 
 ALGEBRA_OF = {
     "connected": "connected",
@@ -35,10 +38,15 @@ def main() -> None:
     rng = random.Random(11)
     graph = caterpillar_graph(4, 1)
     print(f"host: caterpillar, n={graph.n}, m={graph.m}")
+
+    # Certify on a lanewidth-2 rendition of a caterpillar-like graph —
+    # one shared host, one session, eight properties, one hierarchy.
+    seq2 = random_lanewidth_sequence(2, 7, random.Random(3), edge_probability=0.0)
+    g2 = apply_construction(seq2)
+    session = CertificationSession(rng=rng)
+    reports = session.certify(seq2, list(ALGEBRA_OF.values()))
+
     print(f"{'property':22s} {'direct':>7s} {'MSO':>5s} {'certified':>10s}")
-
-    seq = random_lanewidth_sequence(2, 0, rng)  # only used for shape below
-
     for name, key in ALGEBRA_OF.items():
         prop = PROPERTY_ZOO[name]
         direct = prop.check(graph)
@@ -47,21 +55,19 @@ def main() -> None:
             if prop.formula is not None and graph.n <= 10
             else None
         )
-        # Certify on a lanewidth-2 rendition of a caterpillar-like graph.
-        seq2 = random_lanewidth_sequence(2, 7, random.Random(3), edge_probability=0.0)
-        g2 = apply_construction(seq2)
         want = prop.check(g2)
-        try:
-            config = Configuration.with_random_ids(g2, rng)
-            scheme = LanewidthScheme(algebra_for(key), seq2)
-            _lab, result = prove_and_verify(config, scheme)
-            certified = result.accepted
-        except ProverFailure:
-            certified = False
+        certified = reports[key].accepted
         agreement = "==" if certified == want else "MISMATCH"
         mso_text = "-" if mso is None else str(mso)
         print(f"{name:22s} {str(direct):>7s} {mso_text:>5s} "
               f"{str(certified):>10s} ({agreement} direct on cert host)")
+
+    counters = session.stage_counters
+    print(f"\nstructural reuse: match x{counters.get('match', 0)}, "
+          f"hierarchy x{counters.get('hierarchy', 0)}, "
+          f"evaluate x{counters.get('evaluate', 0)}, "
+          f"label x{counters.get('label', 0)} "
+          f"({len(ALGEBRA_OF)} properties, 1 hierarchy)")
 
 
 if __name__ == "__main__":

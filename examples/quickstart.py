@@ -1,8 +1,9 @@
 """Quickstart: certify an MSO2 property with O(log n)-bit labels.
 
-Builds a random bounded-pathwidth network, runs the Theorem 1 prover for
-"the network is connected", executes the distributed verification round,
-and prints the certificate sizes.
+Builds a random bounded-pathwidth network, runs the Theorem 1 pipeline
+for "the network is connected" through the one-line ``repro.api.certify``
+facade, and prints the structured report: verdict, certificate sizes,
+and per-stage timings.
 
 Run:  python examples/quickstart.py
 """
@@ -10,11 +11,9 @@ Run:  python examples/quickstart.py
 import math
 import random
 
-from repro.core import Theorem1Scheme
+from repro.api import certify
 from repro.graphs.generators import random_pathwidth_graph
 from repro.pathwidth import PathDecomposition
-from repro.pls.model import Configuration
-from repro.pls.simulator import prove_and_verify
 
 
 def main() -> None:
@@ -28,22 +27,26 @@ def main() -> None:
     print(f"network: n={graph.n} vertices, m={graph.m} edges, "
           f"witness pathwidth={decomposition.width()}")
 
-    # Every processor gets a distinct O(log n)-bit identifier.
-    config = Configuration.with_random_ids(graph, rng)
+    # One call: decompose -> lanes -> completion -> hierarchy ->
+    # evaluate -> label, then the distributed verification round.
+    report = certify(
+        graph, "connected", k=2, rng=rng, decomposer=lambda _g: decomposition
+    )
+    if report.refused:
+        print(f"prover refused: {report.refusal}")
+        return
+    print(f"verification round: all accept = {report.accepted}")
 
-    # The scheme: MSO2 property 'connected' + pathwidth bound 2.
-    scheme = Theorem1Scheme("connected", k=2, decomposer=lambda _g: decomposition)
-
-    labeling, result = prove_and_verify(config, scheme)
-    print(f"verification round: all accept = {result.accepted}")
-
-    bits = labeling.max_label_bits(scheme)
+    bits = report.max_label_bits
     print(f"max certificate size: {bits} bits "
           f"({bits / math.log2(graph.n):.1f} x log2(n))")
-    print(f"class count observed: {labeling.size_context.n} vertices, "
-          f"{labeling.size_context.class_bits}-bit class fields")
+    print(f"mean certificate size: {report.mean_label_bits:.1f} bits, "
+          f"{report.class_count} homomorphism classes, "
+          f"hierarchy depth {report.hierarchy_depth}")
+    print("stage timings:", "; ".join(str(t) for t in report.stage_timings))
 
-    # Peek at one label's structure.
+    # The raw artifacts are still there for drill-down.
+    labeling = report.labeling
     some_edge = graph.edges()[0]
     label = labeling.mapping[some_edge]
     kinds = [type(r).__name__ for r in label.certificate.stack]

@@ -1,6 +1,9 @@
 """Legacy setup shim: the execution environment has no `wheel` package and
 no network, so PEP 517 editable installs are unavailable; this enables
-`pip install -e . --no-build-isolation` via `setup.py develop`."""
+`pip install -e . --no-build-isolation` via `setup.py develop`.
+
+All project metadata lives in pyproject.toml (the source of truth);
+this file intentionally stays an empty pass-through."""
 
 from setuptools import setup
 

@@ -1,0 +1,69 @@
+"""Public certification API: staged pipeline, sessions, and the facade.
+
+The Theorem 1 machinery factors into graph-level *structural* stages and
+property-level *evaluation* stages; this package exposes that split:
+
+* :func:`certify` — one-line entry point returning structured
+  :class:`CertificationReport` objects;
+* :class:`CertificationSession` — memoizes structural artifacts per
+  graph fingerprint and proves property batches against one hierarchy;
+* :class:`CertificationPipeline` + the stage classes — explicit,
+  swappable steps with per-stage timings for experiments.
+
+The legacy entry points (``Theorem1Scheme``, ``LanewidthScheme``,
+``certify_lanewidth_graph``) live in :mod:`repro.core` and delegate to
+these stages; they are re-exported here for convenience.
+"""
+
+from repro.api.facade import (
+    LanewidthScheme,
+    Theorem1Scheme,
+    certify,
+    certify_lanewidth_graph,
+)
+from repro.api.pipeline import (
+    DEFAULT_EXACT_DECOMPOSITION_LIMIT,
+    PROPERTY_STAGES,
+    STRUCTURAL_STAGES,
+    CertificationPipeline,
+    CompletionStage,
+    DecomposeStage,
+    EvaluateStage,
+    HierarchyStage,
+    LabelStage,
+    LaneStage,
+    MatchSequenceStage,
+    PipelineContext,
+    PipelineScheme,
+    Stage,
+    lanewidth_stages,
+    theorem1_stages,
+)
+from repro.api.results import CertificationReport, StageTiming
+from repro.api.session import CertificationSession
+
+__all__ = [
+    "certify",
+    "CertificationSession",
+    "CertificationReport",
+    "StageTiming",
+    "CertificationPipeline",
+    "PipelineContext",
+    "PipelineScheme",
+    "Stage",
+    "DecomposeStage",
+    "LaneStage",
+    "CompletionStage",
+    "MatchSequenceStage",
+    "HierarchyStage",
+    "EvaluateStage",
+    "LabelStage",
+    "theorem1_stages",
+    "lanewidth_stages",
+    "DEFAULT_EXACT_DECOMPOSITION_LIMIT",
+    "STRUCTURAL_STAGES",
+    "PROPERTY_STAGES",
+    "Theorem1Scheme",
+    "LanewidthScheme",
+    "certify_lanewidth_graph",
+]

@@ -1,0 +1,98 @@
+"""The one-line certification entry point.
+
+    from repro.api import certify
+
+    report = certify(graph, "connected", k=2)
+    reports = certify(sequence, ["connected", "acyclic", "even-order"])
+
+``certify`` builds a throwaway :class:`CertificationSession` (or reuses a
+caller-supplied one) and returns structured
+:class:`~repro.api.results.CertificationReport` objects.  For repeated
+certification — many properties, many graphs — construct a session once
+and call ``session.certify`` directly so the structural stages are
+shared.
+
+The legacy entry points (``Theorem1Scheme``, ``LanewidthScheme``,
+``certify_lanewidth_graph``) are re-exported here; they are thin shims
+whose provers delegate to the same pipeline stages.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+# Back-compat shims: same objects as repro.core, pipeline-backed.
+from repro.core.scheme import (  # noqa: F401  (re-exported)
+    LanewidthScheme,
+    Theorem1Scheme,
+    certify_lanewidth_graph,
+)
+
+from repro.api.session import CertificationSession
+
+
+def certify(
+    target,
+    properties,
+    k: Optional[int] = None,
+    *,
+    rng: Optional[random.Random] = None,
+    decomposer: Optional[Callable] = None,
+    exact_limit: Optional[int] = None,
+    session: Optional[CertificationSession] = None,
+):
+    """Certify MSO₂ ``properties`` on ``target`` and report the results.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.graphs.Graph` (random O(log n)-bit identifiers
+        are attached), a :class:`~repro.pls.model.Configuration`, or a
+        native :class:`~repro.core.lanewidth.ConstructionSequence`.
+    properties:
+        One registry key / algebra instance, or a list of them — a list
+        is proven as a batch against one shared hierarchy.
+    k:
+        Pathwidth bound (required for graph targets; ignored for
+        sequence targets, which carry their own width).
+    rng:
+        Identifier source for bare-graph targets.
+    decomposer:
+        Optional witness decomposition override, ``graph ->
+        PathDecomposition``.
+    exact_limit:
+        Exact-decomposition cutoff for the default decomposer (see
+        :class:`repro.api.pipeline.DecomposeStage`).
+    session:
+        Reuse an existing session (and its structural cache) instead of
+        creating a fresh one.
+
+    Returns a single :class:`CertificationReport` when ``properties`` is
+    a single key, else ``{key: report}``.  Prover refusals are reported,
+    not raised.
+    """
+    if session is None:
+        session = CertificationSession(
+            k=k, decomposer=decomposer, exact_limit=exact_limit, rng=rng
+        )
+    else:
+        # Explicit arguments must not be silently dropped: adopt them on
+        # a session that has none, refuse when they conflict (the cached
+        # structures were built under the session's settings).
+        for name, value in (
+            ("k", k),
+            ("decomposer", decomposer),
+            ("exact_limit", exact_limit),
+        ):
+            if value is None:
+                continue
+            current = getattr(session, name)
+            if current is None:
+                setattr(session, name, value)
+            elif current != value:
+                raise ValueError(
+                    f"session was configured with {name}={current!r}, got "
+                    f"{name}={value!r}; use a separate session per setting"
+                )
+    return session.certify(target, properties, rng=rng)

@@ -1,0 +1,379 @@
+"""The staged certification pipeline.
+
+Theorem 1's prover factors into reusable structural stages (path
+decomposition → lane partition → completion → construction sequence →
+hierarchy) followed by property-specific stages (algebra evaluation →
+certificate labels).  This module makes each stage an explicit, swappable
+object operating on a shared :class:`PipelineContext`, with a
+:class:`CertificationPipeline` runner that records per-stage wall-clock
+timings and run counts.
+
+The split is what enables batch multi-property proving: the structural
+stages depend only on the graph, so a :class:`repro.api.CertificationSession`
+runs them once and replays :class:`EvaluateStage`/:class:`LabelStage`
+per property (Bousquet–Feuilloley–Pierron's decomposition/evaluation
+separation, made operational).
+
+Two stage lists cover the two proving modes:
+
+* :func:`theorem1_stages` — the full Section 4→6 pipeline for a graph
+  with a pathwidth bound ``k``;
+* :func:`lanewidth_stages` — native lanewidth constructions, where a
+  :class:`MatchSequenceStage` replaces the Section 4 front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Callable, Optional
+
+from repro.core.certificates import CertificateBuilder
+from repro.core.completion import build_completion
+from repro.core.construction import build_hierarchy
+from repro.core.embedding import Embedding
+from repro.core.hierarchy import (
+    evaluate_hierarchy,
+    hierarchy_depth,
+    validate_hierarchy,
+)
+from repro.core.lane_partition import build_lane_partition, f_bound
+from repro.core.lanewidth import (
+    ConstructionSequence,
+    apply_construction,
+    construction_sequence_from_completion,
+)
+from repro.core.scheme import CertifyingScheme
+from repro.courcelle.registry import resolve_algebra
+from repro.pathwidth.exact import exact_path_decomposition
+from repro.pathwidth.heuristics import heuristic_path_decomposition
+from repro.pls.bits import ClassIndexer, SizeContext
+from repro.pls.model import Configuration
+from repro.pls.scheme import Labeling, ProverFailure
+
+from repro.api.results import StageTiming
+
+#: Default instance-size cutoff below which :class:`DecomposeStage` runs
+#: the exact O(2^n) vertex-separation DP instead of the heuristic
+#: portfolio.  Overridable per stage (``DecomposeStage(exact_limit=...)``),
+#: per scheme (``Theorem1Scheme(..., exact_limit=...)``), and through the
+#: facade/session ``exact_limit`` keyword.
+DEFAULT_EXACT_DECOMPOSITION_LIMIT = 14
+
+#: Stage names whose artifacts depend only on the graph (memoizable).
+STRUCTURAL_STAGES = ("decompose", "lanes", "completion", "match", "hierarchy")
+#: Stage names that must rerun for every property.
+PROPERTY_STAGES = ("evaluate", "label")
+
+
+@dataclass
+class PipelineContext:
+    """The artifact blackboard the stages read from and write to."""
+
+    config: Configuration
+    #: Property under certification — a registry key or algebra instance;
+    #: :class:`EvaluateStage` resolves and pins the instance here.
+    algebra: object = None
+
+    # Structural artifacts (graph-only; reusable across properties).
+    decomposition: object = None  # PathDecomposition
+    lanes: object = None  # LanePartitionResult
+    completion: object = None  # CompletionResult
+    sequence: Optional[ConstructionSequence] = None
+    root: object = None  # HierarchyNode
+    hierarchy_depth: Optional[int] = None
+    embedding: Optional[Embedding] = None
+    max_width: Optional[int] = None
+
+    # Property-specific artifacts.
+    evaluation: object = None  # HierarchyEvaluation
+    class_count: Optional[int] = None
+    labeling: Optional[Labeling] = None
+
+    #: Timings of every stage run against this context, in order.
+    timings: list = field(default_factory=list)
+
+    @property
+    def graph(self):
+        return self.config.graph
+
+    def structural_copy(
+        self, config: Optional[Configuration] = None, algebra=None
+    ) -> "PipelineContext":
+        """Clone the structural artifacts for another property (or config).
+
+        The per-property fields (evaluation, labeling, timings) start
+        fresh; the expensive graph-level artifacts are shared by
+        reference — stages never mutate them after creation.
+        """
+        clone = replace(self, timings=[])
+        clone.config = config or self.config
+        clone.algebra = algebra
+        clone.evaluation = None
+        clone.class_count = None
+        clone.labeling = None
+        return clone
+
+
+class Stage:
+    """One pipeline step.
+
+    ``run`` reads its inputs from the context and writes its artifacts
+    back; it raises :class:`ProverFailure` when the honest prover must
+    refuse (precondition or property violation).
+    """
+
+    name: str = "stage"
+
+    def run(self, ctx: PipelineContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DecomposeStage(Stage):
+    """Find a width-``k`` witness path decomposition (or refuse).
+
+    Parameters
+    ----------
+    k:
+        The pathwidth bound being certified.
+    decomposer:
+        Optional override ``graph -> PathDecomposition`` (generators that
+        already know a witness pass it here and skip the search).
+    exact_limit:
+        Instances with ``n <= exact_limit`` use the exact exponential
+        vertex-separation DP; larger ones fall back to the heuristic
+        portfolio.  ``None`` means
+        :data:`DEFAULT_EXACT_DECOMPOSITION_LIMIT`.  The exact DP is
+        ground truth but O(2^n), so raising this trades completeness on
+        borderline instances against prover time.
+    """
+
+    name = "decompose"
+
+    def __init__(
+        self,
+        k: int,
+        decomposer: Optional[Callable] = None,
+        exact_limit: Optional[int] = None,
+    ):
+        if k < 1:
+            raise ValueError("pathwidth bound must be at least 1")
+        if exact_limit is None:
+            exact_limit = DEFAULT_EXACT_DECOMPOSITION_LIMIT
+        if exact_limit < 0:
+            raise ValueError("exact_limit must be non-negative")
+        self.k = k
+        self.decomposer = decomposer
+        self.exact_limit = exact_limit
+
+    def default_decomposer(self, graph):
+        if graph.n <= self.exact_limit:
+            return exact_path_decomposition(graph)
+        return heuristic_path_decomposition(graph)
+
+    def run(self, ctx: PipelineContext) -> None:
+        graph = ctx.graph
+        if graph.n < 2:
+            raise ProverFailure("certification needs at least two vertices")
+        if not graph.is_connected():
+            raise ProverFailure("the network must be connected")
+        decomposer = self.decomposer or self.default_decomposer
+        decomposition = decomposer(graph)
+        if decomposition.width() > self.k:
+            raise ProverFailure(
+                f"no witness decomposition of width <= {self.k} found "
+                f"(got {decomposition.width()})"
+            )
+        ctx.decomposition = decomposition
+        ctx.max_width = f_bound(self.k + 1)
+
+
+class LaneStage(Stage):
+    """Proposition 4.6: lane partition + low-congestion embedding."""
+
+    name = "lanes"
+
+    def run(self, ctx: PipelineContext) -> None:
+        rep = ctx.decomposition.to_interval_representation()
+        ctx.lanes = build_lane_partition(ctx.graph, rep)
+        ctx.embedding = ctx.lanes.full_embedding()
+
+
+class CompletionStage(Stage):
+    """Definition 4.4 + Proposition 5.2: completion and its build plan."""
+
+    name = "completion"
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.completion = build_completion(ctx.graph, ctx.lanes.partition)
+        ctx.sequence = construction_sequence_from_completion(ctx.completion)
+
+
+class MatchSequenceStage(Stage):
+    """Lanewidth mode's front end: check the configuration is the
+    construction's graph, then adopt the sequence as the build plan.
+
+    The expected graph is replayed once and kept as a fingerprint on the
+    stage instance, so repeated proofs against the same sequence compare
+    one hash instead of rebuilding and comparing full edge/vertex sets.
+    """
+
+    name = "match"
+
+    def __init__(self, sequence: ConstructionSequence):
+        self.sequence = sequence
+        self._expected_fingerprint: Optional[str] = None
+
+    def expected_fingerprint(self) -> str:
+        if self._expected_fingerprint is None:
+            expected = apply_construction(self.sequence)
+            # Labels excluded: the legacy check compared bare (V, E).
+            self._expected_fingerprint = expected.fingerprint(
+                include_labels=False
+            )
+        return self._expected_fingerprint
+
+    def run(self, ctx: PipelineContext) -> None:
+        observed = ctx.graph.fingerprint(include_labels=False)
+        if observed != self.expected_fingerprint():
+            raise ProverFailure("configuration does not match the construction")
+        ctx.sequence = self.sequence
+        ctx.embedding = Embedding(ctx.graph)
+        ctx.max_width = self.sequence.width
+
+
+class HierarchyStage(Stage):
+    """Proposition 5.6: build (and, in pathwidth mode, validate) the
+    hierarchical decomposition."""
+
+    name = "hierarchy"
+
+    def run(self, ctx: PipelineContext) -> None:
+        root = build_hierarchy(ctx.sequence)
+        if ctx.completion is not None:
+            validate_hierarchy(root, ctx.completion.graph)
+            if hierarchy_depth(root) > 2 * ctx.lanes.partition.width:
+                raise AssertionError("Observation 5.5 depth bound violated")
+        ctx.root = root
+        ctx.hierarchy_depth = hierarchy_depth(root)
+
+
+class EvaluateStage(Stage):
+    """Proposition 6.1: run the property's algebra bottom-up and check
+    acceptance at the root (the honest prover refuses false properties)."""
+
+    name = "evaluate"
+
+    def __init__(self, algebra=None):
+        self.algebra = resolve_algebra(algebra) if algebra is not None else None
+
+    def run(self, ctx: PipelineContext) -> None:
+        algebra = self.algebra if self.algebra is not None else ctx.algebra
+        if algebra is None:
+            raise ValueError("EvaluateStage needs an algebra (stage or context)")
+        ctx.algebra = resolve_algebra(algebra)
+        ctx.evaluation = evaluate_hierarchy(ctx.root, ctx.algebra)
+        if not ctx.evaluation.accepts(ctx.root):
+            raise ProverFailure("property does not hold on the real subgraph")
+
+
+class LabelStage(Stage):
+    """Lemmas 6.4/6.5: build the physical edge certificates."""
+
+    name = "label"
+
+    def run(self, ctx: PipelineContext) -> None:
+        indexer = ClassIndexer()
+        builder = CertificateBuilder(ctx.config, ctx.root, ctx.evaluation, indexer)
+        mapping = builder.physical_labels(ctx.embedding)
+        size_ctx = SizeContext(ctx.config.n, class_count=indexer.class_count)
+        ctx.class_count = indexer.class_count
+        ctx.labeling = Labeling("edges", mapping, size_ctx)
+
+
+class CertificationPipeline:
+    """Run a stage list in order, recording timings and run counts.
+
+    ``counters`` (optional) is a mutable ``{stage name: runs}`` mapping —
+    sessions pass their cumulative counter so cache behavior is
+    observable from reports.
+    """
+
+    def __init__(self, stages):
+        self.stages = list(stages)
+
+    def stage_names(self) -> list:
+        return [stage.name for stage in self.stages]
+
+    def run(self, ctx: PipelineContext, counters: Optional[dict] = None) -> list:
+        """Execute every stage against ``ctx``; return this run's timings."""
+        timings = []
+        for stage in self.stages:
+            start = perf_counter()
+            try:
+                stage.run(ctx)
+            finally:
+                # Refusals count as runs too: a ProverFailure in
+                # EvaluateStage is a completed (negative) evaluation, and
+                # the counters must reflect every attempt.
+                timing = StageTiming(stage.name, perf_counter() - start)
+                timings.append(timing)
+                ctx.timings.append(timing)
+                if counters is not None:
+                    counters[stage.name] = counters.get(stage.name, 0) + 1
+        return timings
+
+
+class PipelineScheme(CertifyingScheme):
+    """A :class:`ProofLabelingScheme` wired to an explicit stage list.
+
+    The verifier half is inherited (and identical to the legacy
+    schemes'); ``prove`` simply runs the stages.  Sessions hand these
+    out inside reports so legacy helpers (``run_verification``,
+    adversarial label attacks) keep working against pipeline output.
+    """
+
+    def __init__(self, algebra, max_width: int, stages=()):
+        super().__init__(algebra, max_width)
+        self.stages = tuple(stages)
+
+    def prove(self, config: Configuration) -> Labeling:
+        ctx = PipelineContext(config=config, algebra=self.algebra)
+        CertificationPipeline(self.stages).run(ctx)
+        if ctx.labeling is None:
+            raise ProverFailure("stage list produced no labeling")
+        return ctx.labeling
+
+
+def theorem1_stages(
+    k: int,
+    algebra=None,
+    decomposer: Optional[Callable] = None,
+    exact_limit: Optional[int] = None,
+) -> list:
+    """The full Theorem 1 stage list for pathwidth-bounded certification."""
+    return [
+        DecomposeStage(k, decomposer=decomposer, exact_limit=exact_limit),
+        LaneStage(),
+        CompletionStage(),
+        HierarchyStage(),
+        EvaluateStage(algebra),
+        LabelStage(),
+    ]
+
+
+def lanewidth_stages(
+    sequence: ConstructionSequence,
+    algebra=None,
+    match_stage: Optional[MatchSequenceStage] = None,
+) -> list:
+    """The native-lanewidth stage list (no Section 4 front end)."""
+    return [
+        match_stage or MatchSequenceStage(sequence),
+        HierarchyStage(),
+        EvaluateStage(algebra),
+        LabelStage(),
+    ]

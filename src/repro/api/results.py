@@ -1,0 +1,105 @@
+"""Structured certification results.
+
+:class:`CertificationReport` replaces the untyped
+``(config, scheme, labeling, result)`` tuple of the legacy
+``certify_lanewidth_graph`` entry point with named fields: the verdict,
+honest bit accounting (max/mean/total label bits, class count), the
+structural shape (lane width, hierarchy depth), and per-stage wall-clock
+timings plus the session's cumulative stage counters — the observability
+surface the batching experiments assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock seconds spent in one pipeline stage.
+
+    ``cached`` marks timings replayed from a session's memoized
+    structural artifacts: the stage did *not* run for this report — the
+    figure records what the artifact originally cost.
+    """
+
+    name: str
+    seconds: float
+    cached: bool = False
+
+    def __str__(self) -> str:
+        suffix = " (cached)" if self.cached else ""
+        return f"{self.name}: {self.seconds * 1e3:.2f} ms{suffix}"
+
+
+@dataclass
+class CertificationReport:
+    """Everything one ``certify`` call learned about one property."""
+
+    property_key: str
+    accepted: bool
+    #: True when the honest prover refused the instance (property false,
+    #: width over bound, disconnected network, ...) — ``refusal`` says why.
+    refused: bool = False
+    refusal: Optional[str] = None
+
+    # Instance shape.
+    n: int = 0
+    m: int = 0
+    #: Certified lanewidth bound (f(k+1) in pathwidth mode).
+    max_width: Optional[int] = None
+    #: Lane count of the hierarchy root actually built.
+    lane_count: Optional[int] = None
+    hierarchy_depth: Optional[int] = None
+
+    # Bit accounting (None when the prover refused).
+    class_count: Optional[int] = None
+    max_label_bits: Optional[int] = None
+    mean_label_bits: Optional[float] = None
+    total_label_bits: Optional[int] = None
+
+    # Observability.
+    stage_timings: tuple = ()
+    #: Snapshot of the owning session's cumulative per-stage run counts
+    #: at report creation time ({} for sessionless pipeline runs).
+    stage_counters: dict = field(default_factory=dict)
+    #: True when the structural stages were served from the session cache.
+    structure_cached: bool = False
+
+    # Raw artifacts for drill-down and legacy interop (never compared).
+    config: object = field(default=None, repr=False, compare=False)
+    scheme: object = field(default=None, repr=False, compare=False)
+    labeling: object = field(default=None, repr=False, compare=False)
+    result: object = field(default=None, repr=False, compare=False)
+
+    def as_tuple(self) -> tuple:
+        """Return the legacy ``(config, scheme, labeling, result)`` tuple."""
+        return (self.config, self.scheme, self.labeling, self.result)
+
+    @property
+    def rejecting_vertices(self) -> list:
+        """Vertices that rejected during verification ([] if accepted)."""
+        if self.result is None:
+            return []
+        return self.result.rejecting_vertices
+
+    def stage_seconds(self, name: str) -> float:
+        """Total seconds attributed to the named stage in this report."""
+        return sum(t.seconds for t in self.stage_timings if t.name == name)
+
+    def summary(self) -> str:
+        """One human-readable line, for examples and benchmark tables."""
+        if self.refused:
+            return (
+                f"{self.property_key}: prover refused ({self.refusal}) "
+                f"on n={self.n}, m={self.m}"
+            )
+        verdict = "accepted" if self.accepted else "REJECTED"
+        cached = ", structure cached" if self.structure_cached else ""
+        return (
+            f"{self.property_key}: {verdict}, n={self.n}, m={self.m}, "
+            f"max {self.max_label_bits} bits, mean "
+            f"{self.mean_label_bits:.1f} bits, {self.class_count} classes, "
+            f"depth {self.hierarchy_depth}{cached}"
+        )

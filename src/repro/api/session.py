@@ -1,0 +1,317 @@
+"""Certification sessions: structural-artifact caching + batch proving.
+
+A :class:`CertificationSession` memoizes the graph-level structural
+artifacts (path decomposition, lane partition, completion, hierarchy)
+keyed by graph fingerprint, so certifying several MSO₂ properties on the
+same graph — or re-certifying a graph seen earlier in the session — only
+reruns the per-property stages (:class:`EvaluateStage` /
+:class:`LabelStage`).  The session's cumulative ``stage_counters`` make
+the reuse observable: tests assert that ``decompose``/``lanes``/
+``hierarchy`` ran exactly once across a multi-property batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.lanewidth import ConstructionSequence, apply_construction
+from repro.courcelle.algebra import BoundedAlgebra
+from repro.courcelle.registry import resolve_algebra
+from repro.pls.model import Configuration
+from repro.pls.scheme import ProverFailure
+from repro.pls.simulator import run_verification
+
+from repro.api.pipeline import (
+    CertificationPipeline,
+    EvaluateStage,
+    HierarchyStage,
+    LabelStage,
+    MatchSequenceStage,
+    PipelineContext,
+    PipelineScheme,
+    lanewidth_stages,
+    theorem1_stages,
+)
+from repro.api.results import CertificationReport, StageTiming
+
+
+@dataclass
+class _Structure:
+    """Memoized structural artifacts for one graph fingerprint."""
+
+    ctx: PipelineContext  # after the structural stages only
+    timings: tuple  # what the structural stages originally cost
+    sequence: Optional[ConstructionSequence]  # lanewidth mode marker
+    #: The matcher that already computed the expected-graph fingerprint;
+    #: reused by report schemes so replays don't rebuild the graph.
+    match_stage: Optional[MatchSequenceStage] = None
+
+
+class CertificationSession:
+    """Batch/caching front end over the staged pipeline.
+
+    Parameters
+    ----------
+    k:
+        Pathwidth bound used when certifying :class:`Graph` /
+        :class:`Configuration` targets (Theorem 1 mode).  Sequence
+        targets carry their own width and ignore ``k``.
+    decomposer, exact_limit:
+        Forwarded to :class:`repro.api.pipeline.DecomposeStage`.
+    rng:
+        Source of vertex identifiers for bare-graph targets.
+    """
+
+    def __init__(
+        self,
+        k: Optional[int] = None,
+        decomposer: Optional[Callable] = None,
+        exact_limit: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.k = k
+        self.decomposer = decomposer
+        self.exact_limit = exact_limit
+        self.rng = rng or random.Random()
+        #: Cumulative {stage name: times run} over the session's lifetime.
+        self.stage_counters: dict = {}
+        self._structures: dict = {}  # fingerprint -> _Structure
+        # Sequence targets are identity-cached (dataclasses are unhashable);
+        # holding the sequence keeps id() stable.
+        self._sequence_keys: dict = {}  # id(seq) -> (seq, fingerprint, graph)
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_graphs(self) -> int:
+        """Number of distinct graphs with memoized structure."""
+        return len(self._structures)
+
+    def certify(self, target, properties, rng: Optional[random.Random] = None):
+        """Prove one or many properties against one target.
+
+        ``target`` is a :class:`ConstructionSequence` (native lanewidth
+        mode), a :class:`Configuration`, or a bare :class:`Graph` (random
+        identifiers are attached).  ``properties`` is a registry key, an
+        algebra instance, or a list of either.
+
+        Returns one :class:`CertificationReport` for a single property,
+        or ``{key: report}`` for a list.  Prover refusals are reported
+        (``report.refused``), not raised — a false property must not
+        abort the rest of the batch.
+        """
+        single = isinstance(properties, (str, BoundedAlgebra))
+        try:
+            keys = [properties] if single else list(properties)
+        except TypeError:
+            raise TypeError(
+                "properties must be a registry key, an algebra, or a list "
+                f"of them (got {type(properties).__name__})"
+            ) from None
+        if not keys:
+            raise ValueError("need at least one property to certify")
+        # Resolve every algebra up front: a typo'd key must fail fast,
+        # not midway through a batch with half the properties proven.
+        # Report keys are deduplicated (#2, #3, ...) so two algebra
+        # instances of the same class never collapse into one report.
+        resolved = []
+        seen_keys: dict = {}
+        for prop in keys:
+            key = self._key_of(prop)
+            seen_keys[key] = seen_keys.get(key, 0) + 1
+            if seen_keys[key] > 1:
+                key = f"{key}#{seen_keys[key]}"
+            resolved.append((key, prop, resolve_algebra(prop)))
+
+        config, sequence, fingerprint = self._normalize(target, rng)
+        try:
+            structure, cache_hit = self._structure_for(
+                config, sequence, fingerprint
+            )
+        except ProverFailure as failure:
+            timings = getattr(failure, "stage_timings", ())
+            reports = {
+                key: self._refused_report(key, config, failure, timings)
+                for key, _prop, _algebra in resolved
+            }
+        else:
+            reports = {}
+            for key, _prop, algebra in resolved:
+                reports[key] = self._certify_one(
+                    structure, config, key, algebra, cache_hit
+                )
+        return next(iter(reports.values())) if single else reports
+
+    # ------------------------------------------------------------------
+    def _key_of(self, prop) -> str:
+        if isinstance(prop, str):
+            return prop
+        # Every algebra carries its registry-style key (e.g.
+        # 'max-degree-2'), which distinguishes parametric instances of
+        # the same class; the class name is only a last resort.
+        return getattr(prop, "key", None) or type(prop).__name__
+
+    def _normalize(self, target, rng):
+        """Return ``(config, sequence_or_None, fingerprint)``."""
+        rng = rng or self.rng
+        if isinstance(target, ConstructionSequence):
+            cached = self._sequence_keys.get(id(target))
+            if cached is None:
+                graph = apply_construction(target)
+                cached = (target, graph.fingerprint(), graph)
+                self._sequence_keys[id(target)] = cached
+            _seq, fingerprint, graph = cached
+            return (
+                Configuration.with_random_ids(graph, rng),
+                target,
+                fingerprint,
+            )
+        if isinstance(target, Configuration):
+            return target, None, target.graph.fingerprint()
+        # Bare graph.
+        return (
+            Configuration.with_random_ids(target, rng),
+            None,
+            target.fingerprint(),
+        )
+
+    def _structural_stages(self, sequence):
+        if sequence is not None:
+            return [MatchSequenceStage(sequence), HierarchyStage()]
+        if self.k is None:
+            raise ValueError(
+                "CertificationSession needs a pathwidth bound k to certify "
+                "graph targets (sequence targets carry their own width)"
+            )
+        # theorem1_stages minus the per-property tail.
+        return theorem1_stages(
+            self.k, decomposer=self.decomposer, exact_limit=self.exact_limit
+        )[:-2]
+
+    def _structure_for(self, config, sequence, fingerprint):
+        """Return ``(structure, cache_hit)``, running stages on a miss.
+
+        The cache key includes the proving mode: the same graph reached
+        as a sequence target (lanewidth mode, no decomposition check)
+        and as a bare-graph target (Theorem 1 mode, width ``k`` checked)
+        yields different structures — sharing them would skip the other
+        mode's validation.
+        """
+        if sequence is not None:
+            key = ("lanewidth", fingerprint)
+        else:
+            # Decomposer and cutoff are part of the key: structures built
+            # by the default decomposer must not satisfy a later call that
+            # supplies an explicit witness decomposer (facade adoption).
+            key = (
+                "theorem1",
+                self.k,
+                self.decomposer,
+                self.exact_limit,
+                fingerprint,
+            )
+        structure = self._structures.get(key)
+        if structure is not None:
+            return structure, True
+        ctx = PipelineContext(config=config)
+        stages = self._structural_stages(sequence)
+        try:
+            timings = CertificationPipeline(stages).run(
+                ctx, counters=self.stage_counters
+            )
+        except ProverFailure as failure:
+            # Carry the partial timings out so refused reports keep the
+            # same observability as evaluate-stage refusals.
+            failure.stage_timings = tuple(ctx.timings)
+            raise
+        match_stage = next(
+            (s for s in stages if isinstance(s, MatchSequenceStage)), None
+        )
+        structure = _Structure(
+            ctx=ctx,
+            timings=tuple(timings),
+            sequence=sequence,
+            match_stage=match_stage,
+        )
+        self._structures[key] = structure
+        return structure, False
+
+    def _scheme_for(self, structure, algebra):
+        """A verifier-half scheme whose ``prove`` replays the full pipeline."""
+        if structure.sequence is not None:
+            stages = lanewidth_stages(
+                structure.sequence,
+                algebra=algebra,
+                match_stage=structure.match_stage,
+            )
+        else:
+            stages = theorem1_stages(
+                self.k,
+                algebra=algebra,
+                decomposer=self.decomposer,
+                exact_limit=self.exact_limit,
+            )
+        return PipelineScheme(algebra, structure.ctx.max_width, stages)
+
+    def _structure_timings(self, structure, cache_hit) -> tuple:
+        return tuple(
+            StageTiming(t.name, t.seconds, cached=cache_hit)
+            for t in structure.timings
+        )
+
+    def _certify_one(self, structure, config, key, algebra, cache_hit):
+        ctx = structure.ctx.structural_copy(config=config, algebra=algebra)
+        pipeline = CertificationPipeline([EvaluateStage(), LabelStage()])
+        try:
+            property_timings = pipeline.run(ctx, counters=self.stage_counters)
+        except ProverFailure as failure:
+            report = self._refused_report(key, config, failure)
+            report.max_width = ctx.max_width
+            report.lane_count = len(ctx.root.lanes)
+            report.hierarchy_depth = ctx.hierarchy_depth
+            report.stage_timings = self._structure_timings(
+                structure, cache_hit
+            ) + tuple(ctx.timings)
+            report.structure_cached = cache_hit
+            report.stage_counters = dict(self.stage_counters)
+            return report
+
+        scheme = self._scheme_for(structure, algebra)
+        result = run_verification(config, scheme, ctx.labeling)
+        return CertificationReport(
+            property_key=key,
+            accepted=result.accepted,
+            n=config.graph.n,
+            m=config.graph.m,
+            max_width=ctx.max_width,
+            lane_count=len(ctx.root.lanes),
+            hierarchy_depth=ctx.hierarchy_depth,
+            class_count=ctx.class_count,
+            max_label_bits=ctx.labeling.max_label_bits(scheme),
+            mean_label_bits=ctx.labeling.mean_label_bits(scheme),
+            total_label_bits=ctx.labeling.total_label_bits(scheme),
+            stage_timings=self._structure_timings(structure, cache_hit)
+            + tuple(property_timings),
+            stage_counters=dict(self.stage_counters),
+            structure_cached=cache_hit,
+            config=config,
+            scheme=scheme,
+            labeling=ctx.labeling,
+            result=result,
+        )
+
+    def _refused_report(
+        self, key: str, config, failure, stage_timings: tuple = ()
+    ) -> CertificationReport:
+        return CertificationReport(
+            property_key=key,
+            accepted=False,
+            refused=True,
+            refusal=str(failure),
+            n=config.graph.n,
+            m=config.graph.m,
+            stage_timings=tuple(stage_timings),
+            stage_counters=dict(self.stage_counters),
+            config=config,
+        )

@@ -6,6 +6,11 @@ k-lane graphs, Bridge/Parent/Tree-merge, hierarchical decompositions of
 bounded depth (Observation 5.5), and the T-node construction
 (Proposition 5.6).  Section 6: O(log n)-bit certification of k-lane
 recursive graphs (Lemmas 6.4/6.5) and the Theorem 1 scheme.
+
+The schemes here are the stable legacy entry points; their provers
+delegate to the staged pipeline in :mod:`repro.api`, which is the
+preferred surface for new code (structured reports, per-stage timings,
+and cross-property structural caching via ``CertificationSession``).
 """
 
 from repro.core.lanes import KLanePartition, greedy_lane_partition

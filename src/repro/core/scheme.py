@@ -15,6 +15,16 @@ blow-up.  The construction sequence is supplied to the prover as a hint —
 the paper's prover has unlimited computation and could recover one; ours
 accepts the witness instead (documented substitution).
 
+Both provers are thin shims over the staged pipeline in
+:mod:`repro.api.pipeline` — ``prove`` assembles the matching stage list
+and runs it.  New code should prefer :func:`repro.api.certify` or a
+:class:`repro.api.CertificationSession`, which additionally expose
+per-stage timings, structured reports, and cross-property reuse of the
+structural stages; these classes are kept as the stable entry points of
+the original API.  (The pipeline imports are deferred to call time:
+``repro.api`` depends on this module for the verifier half, so an eager
+import here would be circular.)
+
 Per the paper's remark after Theorem 1, the structural part certified is
 ``pw(G) ≤ w - 1`` where ``w`` is the certified lanewidth (≤ f(k+1) when
 the pipeline starts from a width-(k+1) interval representation) — the
@@ -26,46 +36,34 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.core.certificates import CertificateBuilder, Theorem1Label, label_bits
-from repro.core.completion import build_completion
-from repro.core.construction import build_hierarchy
-from repro.core.embedding import Embedding
-from repro.core.hierarchy import evaluate_hierarchy, hierarchy_depth, validate_hierarchy
-from repro.core.lane_partition import build_lane_partition, f_bound
-from repro.core.lanewidth import (
-    ConstructionSequence,
-    apply_construction,
-    construction_sequence_from_completion,
-)
+from repro.core.certificates import Theorem1Label, label_bits
+from repro.core.lane_partition import f_bound
+from repro.core.lanewidth import ConstructionSequence, apply_construction
 from repro.core.verifier import verify_theorem1
-from repro.courcelle.algebra import BoundedAlgebra
-from repro.courcelle.registry import algebra_for
-from repro.pathwidth.exact import exact_path_decomposition
-from repro.pathwidth.heuristics import heuristic_path_decomposition
-from repro.pls.bits import ClassIndexer, SizeContext
+from repro.courcelle.registry import resolve_algebra
+from repro.pls.bits import SizeContext
 from repro.pls.model import Configuration
-from repro.pls.scheme import Labeling, ProofLabelingScheme, ProverFailure
+from repro.pls.scheme import Labeling, ProofLabelingScheme
 
-_EXACT_DECOMPOSITION_LIMIT = 14
-
-
-def _default_decomposer(graph):
-    if graph.n <= _EXACT_DECOMPOSITION_LIMIT:
-        return exact_path_decomposition(graph)
-    return heuristic_path_decomposition(graph)
+# The former module-private ``_EXACT_DECOMPOSITION_LIMIT = 14`` cutoff is
+# now a documented, overridable parameter: see DecomposeStage(exact_limit=...)
+# in repro.api.pipeline (DEFAULT_EXACT_DECOMPOSITION_LIMIT) and the
+# ``exact_limit`` keyword threaded through Theorem1Scheme, the session,
+# and the facade.
 
 
-class _CertifyingScheme(ProofLabelingScheme):
-    """Shared verify/measure half of the two schemes."""
+class CertifyingScheme(ProofLabelingScheme):
+    """Shared verify/measure half of the two schemes.
+
+    Subclasses supply ``prove``; the verifier and the bit accounting are
+    property-independent, which is what lets a session swap algebras
+    without touching the structural artifacts.
+    """
 
     label_location = "edges"
 
     def __init__(self, algebra, max_width: int):
-        if isinstance(algebra, str):
-            algebra = algebra_for(algebra)
-        if not isinstance(algebra, BoundedAlgebra):
-            raise TypeError("algebra must be a BoundedAlgebra or a registry key")
-        self.algebra = algebra
+        self.algebra = resolve_algebra(algebra)
         self.max_width = max_width
 
     def verify(self, view) -> bool:
@@ -77,72 +75,81 @@ class _CertifyingScheme(ProofLabelingScheme):
         width = len(label.certificate.stack[0].info.lanes)
         return label_bits(label, ctx, width)
 
-    # ------------------------------------------------------------------
-    def _finish(self, config, root, evaluation, embedding) -> Labeling:
-        if not evaluation.accepts(root):
-            raise ProverFailure("property does not hold on the real subgraph")
-        indexer = ClassIndexer()
-        builder = CertificateBuilder(config, root, evaluation, indexer)
-        mapping = builder.physical_labels(embedding)
-        ctx = SizeContext(config.n, class_count=indexer.class_count)
-        return Labeling("edges", mapping, ctx)
+
+# Historical (pre-pipeline) name, kept for external subclasses.
+_CertifyingScheme = CertifyingScheme
 
 
-class Theorem1Scheme(_CertifyingScheme):
-    """Certify ``φ ∧ (pathwidth ≤ k)`` with O(log n)-bit edge labels."""
+class Theorem1Scheme(CertifyingScheme):
+    """Certify ``φ ∧ (pathwidth ≤ k)`` with O(log n)-bit edge labels.
+
+    ``exact_limit`` bounds the instance size up to which the default
+    decomposer uses the exponential exact pathwidth DP before falling
+    back to the heuristic portfolio (default:
+    ``repro.api.pipeline.DEFAULT_EXACT_DECOMPOSITION_LIMIT``).
+    """
 
     def __init__(
         self,
         algebra,
         k: int,
         decomposer: Optional[Callable] = None,
+        exact_limit: Optional[int] = None,
     ):
         if k < 1:
             raise ValueError("pathwidth bound must be at least 1")
         super().__init__(algebra, max_width=f_bound(k + 1))
         self.k = k
-        self.decomposer = decomposer or _default_decomposer
+        self.decomposer = decomposer
+        self.exact_limit = exact_limit
 
     def prove(self, config: Configuration) -> Labeling:
-        graph = config.graph
-        if graph.n < 2:
-            raise ProverFailure("certification needs at least two vertices")
-        if not graph.is_connected():
-            raise ProverFailure("the network must be connected")
-        decomposition = self.decomposer(graph)
-        if decomposition.width() > self.k:
-            raise ProverFailure(
-                f"no witness decomposition of width <= {self.k} found "
-                f"(got {decomposition.width()})"
-            )
-        rep = decomposition.to_interval_representation()
-        lanes = build_lane_partition(graph, rep)
-        completion = build_completion(graph, lanes.partition)
-        sequence = construction_sequence_from_completion(completion)
-        root = build_hierarchy(sequence)
-        validate_hierarchy(root, completion.graph)
-        if hierarchy_depth(root) > 2 * lanes.partition.width:
-            raise AssertionError("Observation 5.5 depth bound violated")
-        evaluation = evaluate_hierarchy(root, self.algebra)
-        return self._finish(config, root, evaluation, lanes.full_embedding())
+        from repro.api.pipeline import (
+            CertificationPipeline,
+            PipelineContext,
+            theorem1_stages,
+        )
+
+        ctx = PipelineContext(config=config, algebra=self.algebra)
+        stages = theorem1_stages(
+            self.k,
+            algebra=self.algebra,
+            decomposer=self.decomposer,
+            exact_limit=self.exact_limit,
+        )
+        CertificationPipeline(stages).run(ctx)
+        return ctx.labeling
 
 
-class LanewidthScheme(_CertifyingScheme):
-    """Certify ``φ`` on a graph given its lanewidth construction."""
+class LanewidthScheme(CertifyingScheme):
+    """Certify ``φ`` on a graph given its lanewidth construction.
+
+    The expected graph of ``sequence`` is replayed once and remembered as
+    a fingerprint; repeated ``prove`` calls compare configurations by
+    hash instead of rebuilding the graph and its edge/vertex sets.
+    """
 
     def __init__(self, algebra, sequence: ConstructionSequence):
         super().__init__(algebra, max_width=sequence.width)
         self.sequence = sequence
+        self._match_stage = None  # carries the cached expected fingerprint
 
     def prove(self, config: Configuration) -> Labeling:
-        expected = apply_construction(self.sequence)
-        if set(expected.edges()) != set(config.graph.edges()) or set(
-            expected.vertices()
-        ) != set(config.graph.vertices()):
-            raise ProverFailure("configuration does not match the construction")
-        root = build_hierarchy(self.sequence)
-        evaluation = evaluate_hierarchy(root, self.algebra)
-        return self._finish(config, root, evaluation, Embedding(config.graph))
+        from repro.api.pipeline import (
+            CertificationPipeline,
+            MatchSequenceStage,
+            PipelineContext,
+            lanewidth_stages,
+        )
+
+        if self._match_stage is None:
+            self._match_stage = MatchSequenceStage(self.sequence)
+        ctx = PipelineContext(config=config, algebra=self.algebra)
+        stages = lanewidth_stages(
+            self.sequence, algebra=self.algebra, match_stage=self._match_stage
+        )
+        CertificationPipeline(stages).run(ctx)
+        return ctx.labeling
 
 
 def certify_lanewidth_graph(
@@ -150,7 +157,10 @@ def certify_lanewidth_graph(
 ) -> tuple:
     """Convenience: build the configuration, prove, and verify.
 
-    Returns ``(config, scheme, labeling, result)``.
+    Returns ``(config, scheme, labeling, result)``.  Legacy entry point —
+    :func:`repro.api.certify` returns the same information (and more) as
+    a structured :class:`repro.api.CertificationReport`; use
+    ``report.as_tuple()`` during migration.
     """
     from repro.pls.simulator import run_verification
 

@@ -16,7 +16,11 @@ against the naive MSO semantics on randomized composition sequences.
 
 from repro.courcelle.boundary import BoundariedGraph, OpSequence, random_op_sequence
 from repro.courcelle.algebra import BoundedAlgebra, ProductAlgebra, WholeGraphAlgebra
-from repro.courcelle.registry import algebra_for, available_algebra_keys
+from repro.courcelle.registry import (
+    algebra_for,
+    available_algebra_keys,
+    resolve_algebra,
+)
 
 __all__ = [
     "BoundariedGraph",
@@ -27,4 +31,5 @@ __all__ = [
     "WholeGraphAlgebra",
     "algebra_for",
     "available_algebra_keys",
+    "resolve_algebra",
 ]

@@ -81,6 +81,20 @@ def available_algebra_keys() -> list:
     return fixed + parametric
 
 
+def resolve_algebra(algebra) -> BoundedAlgebra:
+    """Return ``algebra`` itself, instantiating registry keys on the way.
+
+    Accepts either a ready :class:`BoundedAlgebra` instance or a registry
+    key string (the shared coercion used by every certification entry
+    point: schemes, pipeline stages, sessions, and the facade).
+    """
+    if isinstance(algebra, str):
+        return algebra_for(algebra)
+    if not isinstance(algebra, BoundedAlgebra):
+        raise TypeError("algebra must be a BoundedAlgebra or a registry key")
+    return algebra
+
+
 def algebra_for(key: str) -> BoundedAlgebra:
     """Return a fresh algebra instance for ``key``.
 

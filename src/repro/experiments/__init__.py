@@ -2,6 +2,7 @@
 
 from repro.experiments.reporting import Table, fit_log_slope
 from repro.experiments.workloads import (
+    batch_certify,
     lanewidth_workload,
     pathwidth_workload,
     property_truth,
@@ -10,6 +11,7 @@ from repro.experiments.workloads import (
 __all__ = [
     "Table",
     "fit_log_slope",
+    "batch_certify",
     "lanewidth_workload",
     "pathwidth_workload",
     "property_truth",

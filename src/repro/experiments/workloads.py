@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import random
+from typing import Optional
 
+from repro.api import CertificationSession
 from repro.core import apply_construction, random_lanewidth_sequence
 from repro.graphs.generators import random_pathwidth_graph
 from repro.mso.properties import is_bipartite
@@ -23,6 +25,18 @@ def pathwidth_workload(n: int, k: int, seed: int):
     rng = random.Random(seed)
     graph, bags = random_pathwidth_graph(n, k, rng)
     return graph, PathDecomposition(graph, bags)
+
+
+def batch_certify(target, properties, k: Optional[int] = None, seed: int = 0):
+    """Certify ``properties`` as one batch against ``target``.
+
+    Returns ``(reports, session)`` — the session's ``stage_counters``
+    let benchmarks assert that the structural stages ran exactly once
+    for the whole batch (the E5/E9 shared-hierarchy speedup).
+    """
+    session = CertificationSession(k=k, rng=random.Random(seed))
+    reports = session.certify(target, properties)
+    return reports, session
 
 
 def property_truth(graph) -> dict:

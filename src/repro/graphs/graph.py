@@ -422,6 +422,38 @@ class Graph:
     # ------------------------------------------------------------------
     # Equality and presentation
     # ------------------------------------------------------------------
+    def fingerprint(self, include_labels: bool = True) -> str:
+        """Return a stable content hash of the graph.
+
+        The fingerprint covers the vertex set, the canonical edge keys,
+        and (by default) the input labels; two graphs with equal
+        fingerprints have identical vertices/edges/labels up to hash
+        collision (blake2b-128, negligible).  ``include_labels=False``
+        matches the bare ``(V, E)`` identity used by the lanewidth
+        prover's configuration check.  O(n + m) plus the sort in
+        :meth:`edges`; much cheaper than materializing a comparison graph.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        for v in self.vertices():
+            digest.update(repr(v).encode())
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+        for u, v in self.edges():
+            digest.update(repr((u, v)).encode())
+            digest.update(b"\x00")
+        if include_labels:
+            digest.update(b"\x02")
+            for v, label in sorted(self._vertex_labels.items(), key=repr):
+                digest.update(repr((v, label)).encode())
+                digest.update(b"\x00")
+            digest.update(b"\x03")
+            for key, label in sorted(self._edge_labels.items(), key=repr):
+                digest.update(repr((key, label)).encode())
+                digest.update(b"\x00")
+        return digest.hexdigest()
+
     def same_graph(self, other: "Graph") -> bool:
         """Return whether self and other have identical vertices and edges.
 

@@ -45,6 +45,12 @@ class Labeling:
             for label in self.mapping.values()
         )
 
+    def mean_label_bits(self, scheme: "ProofLabelingScheme") -> float:
+        """Return the average encoded certificate size in bits."""
+        if not self.mapping:
+            return 0.0
+        return self.total_label_bits(scheme) / len(self.mapping)
+
 
 @dataclass
 class VerificationResult:
