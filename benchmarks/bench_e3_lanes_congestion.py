@@ -4,16 +4,17 @@ Measures, over random connected graphs of interval width k, the worst
 observed lane count and embedding congestion against the paper's bounds.
 """
 
-import random
-
 from repro.core import build_lane_partition, f_bound, g_bound, h_bound
-from repro.experiments import Table, pathwidth_workload
+from repro.experiments import Table, pathwidth_workload, seed_stream
+
+ROOT_SEED = 3
 
 
 def _measure(k: int, trials: int, n: int) -> tuple:
+    stream = seed_stream(ROOT_SEED, f"e3-width-{k}")
     worst_lanes = worst_weak = worst_full = 0
     for t in range(trials):
-        graph, decomposition = pathwidth_workload(n, k - 1, seed=k * 500 + t)
+        graph, decomposition = pathwidth_workload(n, k - 1, seed=stream.seed(t))
         rep = decomposition.to_interval_representation()
         result = build_lane_partition(graph, rep)
         result.partition.validate()

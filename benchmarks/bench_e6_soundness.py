@@ -1,85 +1,79 @@
 """E6 — Soundness: tampering that violates the predicate is rejected.
 
-Three adversaries: label mutation, disconnecting edge removal, and
-cycle-creating edge addition.  Predicate-violating configurations must be
-rejected in 100% of trials; mutated labels on *true* instances are
-reported separately (rare survivors are formally benign — soundness
-constrains false instances only).
+Three adversaries, now declared as an :class:`repro.api.AuditPlan`
+instead of hand-rolled loops: label mutation, disconnecting edge
+removal, and cycle-creating edge addition.  Predicate-violating
+configurations must be rejected in 100% of trials; mutated labels on
+*true* instances are reported separately (rare survivors are formally
+benign — soundness constrains false instances only).
+
+Every random choice derives from ``ROOT_SEED`` through named streams;
+``E6_TRIALS`` (env) shrinks the campaign for CI smoke runs.
 """
 
-import itertools
-import random
+import os
 
+from repro.api import (
+    AuditCase,
+    AuditPlan,
+    EdgeAdditionAttack,
+    EdgeRemovalAttack,
+    MutationAttack,
+)
 from repro.core import certify_lanewidth_graph, random_lanewidth_sequence
 from repro.experiments import Table
-from repro.pls.adversary import corrupt_one_label
-from repro.pls.model import Configuration
-from repro.pls.scheme import Labeling
-from repro.pls.simulator import run_verification
+
+ROOT_SEED = 6
+TRIALS = int(os.environ.get("E6_TRIALS", "12"))
 
 
-def _mutation_rate(trials: int) -> tuple:
-    rejected = total = 0
-    for t in range(trials):
-        rng = random.Random(2000 + t)
-        seq = random_lanewidth_sequence(3, 10, rng)
-        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "connected", rng)
-        for _ in range(6):
-            bad = corrupt_one_label(labeling, rng)
-            if bad.mapping == labeling.mapping:
-                continue
-            total += 1
-            if not run_verification(config, scheme, bad).accepted:
-                rejected += 1
-    return rejected, total
+def _case_factory(algebra, edge_probability=None):
+    """Honest-instance factory: one random lanewidth graph per trial."""
+
+    def factory(trial, rng):
+        kwargs = {}
+        if edge_probability is not None:
+            kwargs["edge_probability"] = edge_probability
+        sequence = random_lanewidth_sequence(3, 10, rng, **kwargs)
+        config, scheme, labeling, _res = certify_lanewidth_graph(
+            sequence, algebra, rng
+        )
+        return AuditCase(config, scheme, labeling, trial)
+
+    return factory
 
 
-def _removal_rate(trials: int) -> tuple:
-    rejected = total = 0
-    for t in range(trials):
-        rng = random.Random(3000 + t)
-        seq = random_lanewidth_sequence(3, 10, rng)
-        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "connected", rng)
-        for u, v in config.graph.edges():
-            g2 = config.graph.copy()
-            g2.remove_edge(u, v)
-            if g2.is_connected():
-                continue  # predicate still true: not a soundness case
-            cfg2 = Configuration(g2, config.ids)
-            mapping2 = {
-                key: value
-                for key, value in labeling.mapping.items()
-                if g2.has_edge(*key)
-            }
-            total += 1
-            if not run_verification(
-                cfg2, scheme, Labeling("edges", mapping2, labeling.size_context)
-            ).accepted:
-                rejected += 1
-    return rejected, total
+def _mutation_campaign(trials: int):
+    """Mutate labels of *true* instances (survivors formally benign)."""
+    return AuditPlan(
+        case_factory=_case_factory("connected"),
+        attacks=[MutationAttack(per_case=6)],
+        trials=trials,
+        root_seed=ROOT_SEED,
+        name="e6-mutation",
+    ).run()
 
 
-def _addition_rate(trials: int) -> tuple:
-    rejected = total = 0
-    for t in range(trials):
-        rng = random.Random(4000 + t)
-        seq = random_lanewidth_sequence(3, 10, rng, edge_probability=0.0)
-        config, scheme, labeling, _res = certify_lanewidth_graph(seq, "acyclic", rng)
-        g = config.graph
-        non_edges = [
-            (a, b)
-            for a, b in itertools.combinations(g.vertices(), 2)
-            if not g.has_edge(a, b)
-        ]
-        u, v = non_edges[rng.randrange(len(non_edges))]
-        g2 = g.copy()
-        g2.add_edge(u, v)  # creates a cycle: predicate now false
-        total += 1
-        if not run_verification(
-            Configuration(g2, config.ids), scheme, labeling
-        ).accepted:
-            rejected += 1
-    return rejected, total
+def _removal_campaign(trials: int):
+    """Delete every disconnecting edge under the original proof."""
+    return AuditPlan(
+        case_factory=_case_factory("connected"),
+        attacks=[EdgeRemovalAttack(still_true=lambda g: g.is_connected())],
+        trials=trials,
+        root_seed=ROOT_SEED,
+        name="e6-removal",
+    ).run()
+
+
+def _addition_campaign(trials: int):
+    """Add a cycle-creating edge to a certified forest."""
+    return AuditPlan(
+        case_factory=_case_factory("acyclic", edge_probability=0.0),
+        attacks=[EdgeAdditionAttack(per_case=1)],
+        trials=trials,
+        root_seed=ROOT_SEED,
+        name="e6-addition",
+    ).run()
 
 
 def test_e6_soundness(benchmark):
@@ -87,17 +81,24 @@ def test_e6_soundness(benchmark):
         "E6: soundness under tampering (predicate-violating cases)",
         ["adversary", "rejected", "trials", "rate"],
     )
-    for name, fn, trials in (
-        ("label mutation (true instance)", _mutation_rate, 12),
-        ("disconnecting edge removal", _removal_rate, 12),
-        ("cycle-creating edge addition", _addition_rate, 12),
-    ):
-        rejected, total = fn(trials)
-        table.add(name, rejected, total, f"{rejected / max(total, 1):.3f}")
+    campaigns = (
+        ("label mutation (true instance)", _mutation_campaign, "mutation"),
+        ("disconnecting edge removal", _removal_campaign, "edge-removal"),
+        ("cycle-creating edge addition", _addition_campaign, "edge-addition"),
+    )
+    for name, campaign, attack in campaigns:
+        tally = campaign(TRIALS).tally(attack)
+        table.add(
+            name,
+            tally.rejected,
+            tally.attempted,
+            f"{tally.rejection_rate:.3f}",
+        )
         if name != "label mutation (true instance)":
-            assert rejected == total  # hard soundness requirement
+            assert tally.all_rejected  # hard soundness requirement
+            assert tally.attempted > 0
         else:
-            assert rejected >= total - 2  # benign survivors tolerated
+            assert tally.rejected >= tally.attempted - 2  # benign survivors
     table.show()
 
-    benchmark(_mutation_rate, 3)
+    benchmark(_mutation_campaign, 3)

@@ -4,44 +4,91 @@ For the DistanceMod(M) scheme family (labels of ceil(log2 M) bits), the
 cut-and-splice adversary forges an accepted cycle whenever M < n - 2 and
 finds no collision once M reaches n: the exact log2(n) bit threshold the
 theorem predicts.
+
+The campaign runs through :class:`repro.api.AuditPlan` — one trial per
+modulus, a custom :class:`SpliceForgery` attack performing the surgery —
+so here the *attacker* is audited: a forgery that gets **accepted** is
+the theorem's predicted soundness failure, and the "skipped" outcome
+(no collision to splice) marks the schemes with enough label bits.
 """
 
 import math
-import random
 
+from repro.api import AdversarialInstance, AuditAttack, AuditCase, AuditPlan
 from repro.experiments import Table
-from repro.pls.lower_bound import DistanceModScheme, splice_attack
+from repro.pls.lower_bound import DistanceModScheme, forge_spliced_cycle
+from repro.pls.model import Configuration
+
+from repro.graphs.generators import path_graph
 
 N = 96
+MODULI = (4, 8, 16, 32, 64, 128, 256)
+ROOT_SEED = 7
 
 
-def _attack(modulus: int, seed: int):
-    return splice_attack(DistanceModScheme(modulus), N, random.Random(seed))
+class SpliceForgery(AuditAttack):
+    """Cut-and-splice: close a repeated-label segment into a cycle."""
+
+    name = "splice"
+
+    def instances(self, case, rng):
+        forged = forge_spliced_cycle(case.config, case.labeling)
+        if forged is None:
+            yield None  # no collision: labels are long enough
+            return
+        config, labeling, _positions = forged
+        yield AdversarialInstance(
+            config,
+            labeling,
+            note=f"spliced cycle of length {config.graph.n}",
+            data={"cycle_length": config.graph.n},
+        )
+
+
+def _case_factory(trial, rng):
+    """Honest path instance under DistanceMod(MODULI[trial])."""
+    scheme = DistanceModScheme(MODULI[trial])
+    config = Configuration.with_random_ids(path_graph(N), rng)
+    return AuditCase(config, scheme, scheme.prove(config), trial)
+
+
+def _campaign(trials: int):
+    return AuditPlan(
+        case_factory=_case_factory,
+        attacks=[SpliceForgery()],
+        trials=trials,
+        root_seed=ROOT_SEED,
+        name="e7-splice",
+    ).run()
 
 
 def test_e7_lower_bound(benchmark):
+    report = _campaign(len(MODULI))
     table = Table(
         f"E7: splice attack on DistanceMod(M) over the path on n={N} vertices",
         ["M", "label bits", "collision found", "forged cycle accepted", "cycle length"],
     )
-    for modulus in (4, 8, 16, 32, 64, 128, 256):
-        outcome = _attack(modulus, seed=modulus)
+    for trial, modulus in enumerate(MODULI):
+        (attempt,) = report.attempts_for("splice", trial)
+        collision_found = attempt.outcome != "skipped"
+        cycle_accepted = attempt.outcome == "accepted"
+        length = attempt.data.get("cycle_length")
         bits = max(1, math.ceil(math.log2(modulus)))
         table.add(
             modulus,
             bits,
-            outcome.collision_found,
-            outcome.cycle_accepted,
-            outcome.cycle_length or "-",
+            collision_found,
+            cycle_accepted,
+            length or "-",
         )
         if modulus <= N - 3:
-            assert outcome.collision_found and outcome.cycle_accepted
+            assert collision_found and cycle_accepted
         if modulus >= N:
-            assert not outcome.collision_found
+            assert not collision_found
     table.show()
     print(
         "threshold: attacks succeed for M < n (sub-log labels), fail at "
         f"M >= n = {N} (log2(n) = {math.log2(N):.1f} bits)"
     )
 
-    benchmark(_attack, 16, 1)
+    benchmark(_campaign, 3)

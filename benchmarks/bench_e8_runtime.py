@@ -1,24 +1,29 @@
 """E8 — prover and verifier runtime scaling.
 
 The prover is a centralized algorithm (quasi-linear here); the verifier
-is a single local round.  The table reports wall-clock times per n; the
-benchmark fixture times the n=256 prover.
+is a single local round, now driven by the pluggable
+:class:`repro.api.VerificationEngine`.  The table reports wall-clock
+times per n for the serial executor and the chunked process-pool
+executor (identical verdicts, different scheduling), plus the per-vertex
+cost; the benchmark fixture times the n=256 prover.
 """
 
-import random
 import time
 
+from repro.api import ParallelExecutor, SerialExecutor, VerificationEngine
 from repro.core import LanewidthScheme
-from repro.experiments import Table, lanewidth_workload
+from repro.experiments import Table, lanewidth_workload, seed_stream
 from repro.pls.model import Configuration
-from repro.pls.simulator import run_verification
 
 SIZES = (64, 256, 1024)
+ROOT_SEED = 8
 
 
 def _prove(n: int, seed: int):
     sequence, graph = lanewidth_workload(3, n, seed)
-    config = Configuration.with_random_ids(graph, random.Random(seed))
+    config = Configuration.with_random_ids(
+        graph, seed_stream(ROOT_SEED, "ids").rng(seed)
+    )
     scheme = LanewidthScheme("connected", sequence)
     labeling = scheme.prove(config)
     return config, scheme, labeling
@@ -27,21 +32,30 @@ def _prove(n: int, seed: int):
 def test_e8_runtime(benchmark):
     table = Table(
         "E8: runtime scaling (seconds)",
-        ["n", "prove_s", "verify_s", "verify_per_vertex_ms"],
+        ["n", "prove_s", "verify_serial_s", "verify_parallel_s", "verify_per_vertex_ms"],
     )
+    serial = VerificationEngine(SerialExecutor())
+    parallel = VerificationEngine(ParallelExecutor(max_workers=2))
     for n in SIZES:
         t0 = time.perf_counter()
         config, scheme, labeling = _prove(n, seed=n)
         t1 = time.perf_counter()
-        result = run_verification(config, scheme, labeling)
+        serial_report = serial.verify(config, scheme, labeling)
         t2 = time.perf_counter()
-        assert result.accepted
+        parallel_report = parallel.verify(config, scheme, labeling)
+        t3 = time.perf_counter()
+        assert serial_report.accepted
+        # Scheduling must not change semantics.
+        assert parallel_report.verdicts == serial_report.verdicts
+        assert serial_report.views_built == n
         table.add(
             n,
             f"{t1 - t0:.3f}",
             f"{t2 - t1:.3f}",
+            f"{t3 - t2:.3f}",
             f"{1000 * (t2 - t1) / n:.2f}",
         )
     table.show()
+    parallel.executor.close()
 
     benchmark(_prove, 256, 7)

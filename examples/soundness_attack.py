@@ -1,7 +1,9 @@
 """Adversarial session: corrupting proofs and breaking weak schemes.
 
-Part 1 — tamper with honest Theorem 1 certificates (mutations, swaps,
-graph edits) and watch the verifier catch every predicate violation.
+Part 1 — a declarative :class:`repro.api.AuditPlan` mounts mutation,
+swap, and disconnecting-edge-removal attacks on honest Theorem 1
+certificates; the fail-fast verification engine catches every predicate
+violation while building only a fraction of the local views.
 
 Part 2 — the KKP Omega(log n) lower bound in action: the cut-and-splice
 adversary forges an accepted cycle against any sub-logarithmic scheme in
@@ -13,51 +15,48 @@ Run:  python examples/soundness_attack.py
 import math
 import random
 
+from repro.api import (
+    AuditCase,
+    AuditPlan,
+    EdgeRemovalAttack,
+    MutationAttack,
+    SwapAttack,
+)
 from repro.core import certify_lanewidth_graph, random_lanewidth_sequence
-from repro.pls.adversary import corrupt_one_label, swap_two_labels
 from repro.pls.lower_bound import DistanceModScheme, splice_attack
-from repro.pls.model import Configuration
-from repro.pls.simulator import run_verification
+
+
+def make_case(trial, rng):
+    """One honest instance per trial: prove connectivity, keep the proof."""
+    sequence = random_lanewidth_sequence(3, 12, rng)
+    config, scheme, labeling, result = certify_lanewidth_graph(
+        sequence, "connected", rng
+    )
+    assert result.accepted  # completeness: the honest proof passes
+    return AuditCase(config, scheme, labeling, trial)
 
 
 def main() -> None:
-    rng = random.Random(99)
-
-    print("Part 1: tampering with Theorem 1 certificates")
-    seq = random_lanewidth_sequence(3, 12, rng)
-    config, scheme, labeling, result = certify_lanewidth_graph(seq, "connected", rng)
-    print(f"  honest proof accepted: {result.accepted}")
-
-    rejected = 0
-    for _ in range(25):
-        bad = corrupt_one_label(labeling, rng)
-        if not run_verification(config, scheme, bad).accepted:
-            rejected += 1
-    print(f"  label mutations rejected: {rejected}/25")
-
-    bad = swap_two_labels(labeling, rng)
-    print(f"  swapped labels rejected: {not run_verification(config, scheme, bad).accepted}")
-
-    disconnected = 0
-    caught = 0
-    for u, v in config.graph.edges():
-        g2 = config.graph.copy()
-        g2.remove_edge(u, v)
-        if g2.is_connected():
-            continue
-        disconnected += 1
-        from repro.pls.scheme import Labeling
-
-        cfg2 = Configuration(g2, config.ids)
-        mapping2 = {k: val for k, val in labeling.mapping.items() if g2.has_edge(*k)}
-        if not run_verification(
-            cfg2, scheme, Labeling("edges", mapping2, labeling.size_context)
-        ).accepted:
-            caught += 1
-    print(f"  disconnecting edge removals rejected: {caught}/{disconnected}")
+    print("Part 1: tampering with Theorem 1 certificates (AuditPlan)")
+    plan = AuditPlan(
+        case_factory=make_case,
+        attacks=[
+            MutationAttack(per_case=25),
+            SwapAttack(),
+            EdgeRemovalAttack(still_true=lambda g: g.is_connected()),
+        ],
+        trials=1,
+        root_seed=99,
+        name="tamper",
+    )
+    report = plan.run()
+    for line in report.summary().splitlines():
+        print(f"  {line}")
+    print(f"  every attack rejected: {report.all_rejected}")
 
     print("\nPart 2: the Omega(log n) splice attack (n = 80)")
     n = 80
+    rng = random.Random(99)
     print(f"  {'M':>5s} {'bits':>5s} {'collision':>10s} {'cycle accepted':>15s}")
     for modulus in (4, 16, 64, 128):
         outcome = splice_attack(DistanceModScheme(modulus), n, rng)

@@ -8,7 +8,14 @@ property-level *evaluation* stages; this package exposes that split:
 * :class:`CertificationSession` — memoizes structural artifacts per
   graph fingerprint and proves property batches against one hierarchy;
 * :class:`CertificationPipeline` + the stage classes — explicit,
-  swappable steps with per-stage timings for experiments.
+  swappable steps with per-stage timings for experiments;
+* :class:`VerificationEngine` + executors (:mod:`repro.api.runtime`) —
+  the verification round with pluggable scheduling (serial / process
+  pool), fail-fast short-circuiting, and structured
+  :class:`VerificationReport` output;
+* :class:`AuditPlan` / :class:`AuditReport` (:mod:`repro.api.audit`) —
+  declarative soundness campaigns over the adversary generators, driven
+  by named seed streams.
 
 The legacy entry points (``Theorem1Scheme``, ``LanewidthScheme``,
 ``certify_lanewidth_graph``) live in :mod:`repro.core` and delegate to
@@ -39,7 +46,33 @@ from repro.api.pipeline import (
     lanewidth_stages,
     theorem1_stages,
 )
+from repro.api.audit import (
+    AdversarialInstance,
+    AttackTally,
+    AuditAttack,
+    AuditAttempt,
+    AuditCase,
+    AuditPlan,
+    AuditReport,
+    DropAttack,
+    EdgeAdditionAttack,
+    EdgeRemovalAttack,
+    MutationAttack,
+    SwapAttack,
+    TransplantAttack,
+    derive_rng,
+    derive_seed,
+)
 from repro.api.results import CertificationReport, StageTiming
+from repro.api.runtime import (
+    ChunkTiming,
+    ParallelExecutor,
+    SerialExecutor,
+    VerificationEngine,
+    VerificationExecutor,
+    VerificationReport,
+    verify_labeling,
+)
 from repro.api.session import CertificationSession
 
 __all__ = [
@@ -47,6 +80,30 @@ __all__ = [
     "CertificationSession",
     "CertificationReport",
     "StageTiming",
+    # Verification runtime.
+    "VerificationEngine",
+    "VerificationExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "VerificationReport",
+    "ChunkTiming",
+    "verify_labeling",
+    # Adversarial audits.
+    "AuditPlan",
+    "AuditReport",
+    "AuditCase",
+    "AuditAttack",
+    "AuditAttempt",
+    "AttackTally",
+    "AdversarialInstance",
+    "MutationAttack",
+    "SwapAttack",
+    "DropAttack",
+    "TransplantAttack",
+    "EdgeRemovalAttack",
+    "EdgeAdditionAttack",
+    "derive_seed",
+    "derive_rng",
     "CertificationPipeline",
     "PipelineContext",
     "PipelineScheme",

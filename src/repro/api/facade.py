@@ -29,6 +29,7 @@ from repro.core.scheme import (  # noqa: F401  (re-exported)
     certify_lanewidth_graph,
 )
 
+from repro.api.runtime import VerificationEngine
 from repro.api.session import CertificationSession
 
 
@@ -41,6 +42,8 @@ def certify(
     decomposer: Optional[Callable] = None,
     exact_limit: Optional[int] = None,
     session: Optional[CertificationSession] = None,
+    verify: bool = True,
+    engine: Optional[VerificationEngine] = None,
 ):
     """Certify MSO₂ ``properties`` on ``target`` and report the results.
 
@@ -67,6 +70,13 @@ def certify(
     session:
         Reuse an existing session (and its structural cache) instead of
         creating a fresh one.
+    verify:
+        ``False`` skips the verification round (prove only); replay it
+        later with ``session.verify(report)``.
+    engine:
+        The :class:`~repro.api.runtime.VerificationEngine` running the
+        round — pick the executor (serial/parallel) and ``fail_fast``
+        policy here.  Defaults to a serial engine.
 
     Returns a single :class:`CertificationReport` when ``properties`` is
     a single key, else ``{key: report}``.  Prover refusals are reported,
@@ -74,7 +84,11 @@ def certify(
     """
     if session is None:
         session = CertificationSession(
-            k=k, decomposer=decomposer, exact_limit=exact_limit, rng=rng
+            k=k,
+            decomposer=decomposer,
+            exact_limit=exact_limit,
+            rng=rng,
+            engine=engine,
         )
     else:
         # Explicit arguments must not be silently dropped: adopt them on
@@ -84,6 +98,7 @@ def certify(
             ("k", k),
             ("decomposer", decomposer),
             ("exact_limit", exact_limit),
+            ("engine", engine),
         ):
             if value is None:
                 continue
@@ -95,4 +110,4 @@ def certify(
                     f"session was configured with {name}={current!r}, got "
                     f"{name}={value!r}; use a separate session per setting"
                 )
-    return session.certify(target, properties, rng=rng)
+    return session.certify(target, properties, rng=rng, verify=verify)

@@ -11,8 +11,11 @@ surface the batching experiments assert against.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.api.runtime import VerificationReport
 
 
 @dataclass(frozen=True)
@@ -31,6 +34,20 @@ class StageTiming:
     def __str__(self) -> str:
         suffix = " (cached)" if self.cached else ""
         return f"{self.name}: {self.seconds * 1e3:.2f} ms{suffix}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "seconds": self.seconds, "cached": self.cached}
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageTiming":
+        return cls(
+            name=data["name"],
+            seconds=data["seconds"],
+            cached=data.get("cached", False),
+        )
 
 
 @dataclass
@@ -67,6 +84,10 @@ class CertificationReport:
     #: True when the structural stages were served from the session cache.
     structure_cached: bool = False
 
+    #: Structured record of the verification round (``None`` when the
+    #: prover refused or the round was skipped via ``verify=False``).
+    verification: Optional[VerificationReport] = field(default=None, repr=False)
+
     # Raw artifacts for drill-down and legacy interop (never compared).
     config: object = field(default=None, repr=False, compare=False)
     scheme: object = field(default=None, repr=False, compare=False)
@@ -87,6 +108,70 @@ class CertificationReport:
     def stage_seconds(self, name: str) -> float:
         """Total seconds attributed to the named stage in this report."""
         return sum(t.seconds for t in self.stage_timings if t.name == name)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Machine-readable form for experiment output.
+
+        Raw artifacts (config/scheme/labeling/result) are drill-down
+        handles, not data — they are deliberately not serialized; the
+        structured ``verification`` record is.
+        """
+        return {
+            "property_key": self.property_key,
+            "accepted": self.accepted,
+            "refused": self.refused,
+            "refusal": self.refusal,
+            "n": self.n,
+            "m": self.m,
+            "max_width": self.max_width,
+            "lane_count": self.lane_count,
+            "hierarchy_depth": self.hierarchy_depth,
+            "class_count": self.class_count,
+            "max_label_bits": self.max_label_bits,
+            "mean_label_bits": self.mean_label_bits,
+            "total_label_bits": self.total_label_bits,
+            "stage_timings": [t.to_dict() for t in self.stage_timings],
+            "stage_counters": dict(self.stage_counters),
+            "structure_cached": self.structure_cached,
+            "verification": (
+                self.verification.to_dict()
+                if self.verification is not None
+                else None
+            ),
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CertificationReport":
+        verification = data.get("verification")
+        return cls(
+            property_key=data["property_key"],
+            accepted=data["accepted"],
+            refused=data.get("refused", False),
+            refusal=data.get("refusal"),
+            n=data.get("n", 0),
+            m=data.get("m", 0),
+            max_width=data.get("max_width"),
+            lane_count=data.get("lane_count"),
+            hierarchy_depth=data.get("hierarchy_depth"),
+            class_count=data.get("class_count"),
+            max_label_bits=data.get("max_label_bits"),
+            mean_label_bits=data.get("mean_label_bits"),
+            total_label_bits=data.get("total_label_bits"),
+            stage_timings=tuple(
+                StageTiming.from_dict(t) for t in data.get("stage_timings", ())
+            ),
+            stage_counters=dict(data.get("stage_counters", {})),
+            structure_cached=data.get("structure_cached", False),
+            verification=(
+                VerificationReport.from_dict(verification)
+                if verification is not None
+                else None
+            ),
+        )
 
     def summary(self) -> str:
         """One human-readable line, for examples and benchmark tables."""

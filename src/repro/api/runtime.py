@@ -1,0 +1,526 @@
+"""The verification runtime: pluggable executors and structured reports.
+
+PR 1 rebuilt the *prover* side around the staged pipeline; this module
+does the same for the *verification round* — the half of a proof labeling
+scheme the paper actually bounds (every vertex checks its O(log n)-bit
+local view).  The design mirrors the distributed reality:
+
+* a :class:`VerificationEngine` owns the round's policy (which executor,
+  whether to short-circuit) and produces a structured
+  :class:`VerificationReport`;
+* executors own the *scheduling* of the per-vertex checks.
+  :class:`SerialExecutor` runs them in-process;
+  :class:`ParallelExecutor` fans chunks of vertices out to a
+  ``concurrent.futures.ProcessPoolExecutor``.  Both produce identical
+  verdicts for the same configuration — the checks are independent by
+  the locality guarantee, so scheduling cannot change semantics;
+* ``fail_fast`` short-circuits on the first rejection (at chunk
+  granularity under the pool), which is the right mode for soundness
+  audits where only the accept/reject bit matters.  The report's
+  ``views_built`` counter makes the saving observable.
+
+Exception accounting: a verifier raising on malformed (adversarial)
+labels still *rejects* — soundness must hold against arbitrary labelings
+— but the report counts these ``exception_rejections`` separately from
+ordinary ``verdict_rejections`` so scheme bugs on honest labelings are
+not silently folded into soundness wins.
+
+Cross-process dispatch pickles ``(config, verifier, labeling)``.  Prover
+state frequently is not picklable (witness decomposer closures, cached
+match stages), so :class:`ParallelExecutor` ships
+``scheme.verifier_only()`` — the pickle-safe verifier half every
+:class:`~repro.pls.scheme.ProofLabelingScheme` now exposes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional
+
+from repro.pls.model import Configuration, build_edge_view, build_vertex_view
+from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
+
+
+# ----------------------------------------------------------------------
+# Structured results.
+
+
+@dataclass(frozen=True)
+class ChunkTiming:
+    """Wall-clock cost of one chunk of per-vertex checks."""
+
+    index: int
+    size: int  # vertices assigned to the chunk
+    views_built: int  # views actually constructed (< size under fail_fast)
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "size": self.size,
+            "views_built": self.views_built,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkTiming":
+        return cls(
+            index=data["index"],
+            size=data["size"],
+            views_built=data["views_built"],
+            seconds=data["seconds"],
+        )
+
+
+def _vertex_to_json(vertex):
+    """JSON-safe encoding of a vertex key (tuples become lists)."""
+    if isinstance(vertex, tuple):
+        return [_vertex_to_json(item) for item in vertex]
+    if vertex is None or isinstance(vertex, (bool, int, float, str)):
+        return vertex
+    return repr(vertex)
+
+
+def _vertex_from_json(vertex):
+    if isinstance(vertex, list):
+        return tuple(_vertex_from_json(item) for item in vertex)
+    return vertex
+
+
+@dataclass
+class VerificationReport:
+    """Everything one verification round learned.
+
+    ``verdicts`` covers every vertex the executor reached; under
+    ``fail_fast`` that may be a strict subset of the configuration
+    (``views_built < vertices_total``), which is exactly the saving the
+    mode exists to deliver.  ``accepted`` is authoritative either way: a
+    short-circuited round is always a rejection.
+    """
+
+    accepted: bool
+    verdicts: dict  # vertex -> bool (partial under fail_fast)
+    vertices_total: int
+    views_built: int
+    #: Vertices whose verifier returned ``False``.
+    verdict_rejections: tuple = ()
+    #: Vertices whose verifier *raised* (rejects, counted separately).
+    exception_rejections: tuple = ()
+    executor: str = "serial"
+    fail_fast: bool = False
+    #: True when ``fail_fast`` actually skipped work.
+    short_circuited: bool = False
+    chunks: tuple = ()  # ChunkTiming, in chunk order
+    elapsed_seconds: float = 0.0
+
+    @property
+    def rejecting_vertices(self) -> list:
+        """All rejecting vertices (verdict and exception), sorted."""
+        return sorted(
+            set(self.verdict_rejections) | set(self.exception_rejections),
+            key=repr,
+        )
+
+    def as_result(self) -> VerificationResult:
+        """The legacy :class:`VerificationResult` view of this round."""
+        return VerificationResult(
+            verdicts=dict(self.verdicts), accepted=self.accepted
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form of the report.
+
+        Round-trip fidelity (``from_dict(to_dict())`` preserving
+        ``verdicts`` keys) holds for JSON-primitive and tuple vertex
+        keys — everything the in-repo graphs use.  Exotic vertex
+        objects are encoded by ``repr`` and come back as strings: the
+        counters and verdict booleans survive, identity-based lookups
+        do not.
+        """
+        return {
+            "accepted": self.accepted,
+            "verdicts": [
+                [_vertex_to_json(v), ok] for v, ok in sorted(
+                    self.verdicts.items(), key=lambda item: repr(item[0])
+                )
+            ],
+            "vertices_total": self.vertices_total,
+            "views_built": self.views_built,
+            "verdict_rejections": [
+                _vertex_to_json(v) for v in self.verdict_rejections
+            ],
+            "exception_rejections": [
+                _vertex_to_json(v) for v in self.exception_rejections
+            ],
+            "executor": self.executor,
+            "fail_fast": self.fail_fast,
+            "short_circuited": self.short_circuited,
+            "chunks": [chunk.to_dict() for chunk in self.chunks],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationReport":
+        return cls(
+            accepted=data["accepted"],
+            verdicts={
+                _vertex_from_json(v): ok for v, ok in data["verdicts"]
+            },
+            vertices_total=data["vertices_total"],
+            views_built=data["views_built"],
+            verdict_rejections=tuple(
+                _vertex_from_json(v) for v in data["verdict_rejections"]
+            ),
+            exception_rejections=tuple(
+                _vertex_from_json(v) for v in data["exception_rejections"]
+            ),
+            executor=data.get("executor", "serial"),
+            fail_fast=data.get("fail_fast", False),
+            short_circuited=data.get("short_circuited", False),
+            chunks=tuple(
+                ChunkTiming.from_dict(c) for c in data.get("chunks", ())
+            ),
+            elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        )
+
+    def summary(self) -> str:
+        verdict = "accepted" if self.accepted else "REJECTED"
+        extra = ""
+        if not self.accepted:
+            extra = (
+                f", {len(self.verdict_rejections)} verdict / "
+                f"{len(self.exception_rejections)} exception rejections"
+            )
+        if self.short_circuited:
+            extra += ", short-circuited"
+        return (
+            f"{verdict} ({self.views_built}/{self.vertices_total} views, "
+            f"{self.executor}{extra})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The unit of scheduled work.
+
+
+@dataclass(frozen=True)
+class _ChunkOutcome:
+    """What one chunk of per-vertex checks produced."""
+
+    index: int
+    size: int
+    verdicts: dict
+    exception_vertices: tuple
+    views_built: int
+    seconds: float
+    rejected: bool  # saw at least one rejection (fail_fast trigger)
+
+
+def _verify_chunk(payload, vertices, index: int, fail_fast: bool) -> _ChunkOutcome:
+    """Check one chunk of vertices; module-level so pools can import it.
+
+    ``payload`` is ``(config, scheme, mapping, location)``; only the
+    verifier half of the scheme is exercised, which is what makes the
+    cross-process variant safe (see :func:`_picklable_payload`).
+    """
+    config, scheme, mapping, location = payload
+    build_view = build_vertex_view if location == "vertices" else build_edge_view
+    start = perf_counter()
+    verdicts: dict = {}
+    exceptions: list = []
+    views = 0
+    rejected = False
+    for vertex in vertices:
+        view = build_view(config, vertex, mapping)
+        views += 1
+        try:
+            ok = bool(scheme.verify(view))
+        except Exception:
+            # A verifier choking on malformed (adversarial) labels
+            # rejects: soundness must hold against arbitrary labelings.
+            ok = False
+            exceptions.append(vertex)
+        verdicts[vertex] = ok
+        if not ok:
+            rejected = True
+            if fail_fast:
+                break
+    return _ChunkOutcome(
+        index=index,
+        size=len(vertices),
+        verdicts=verdicts,
+        exception_vertices=tuple(exceptions),
+        views_built=views,
+        seconds=perf_counter() - start,
+        rejected=rejected,
+    )
+
+
+def _chunked(vertices: list, chunk_size: int) -> list:
+    return [
+        vertices[i : i + chunk_size]
+        for i in range(0, len(vertices), chunk_size)
+    ]
+
+
+def _picklable_payload(config, scheme, mapping, location):
+    """Return a payload safe to ship across process boundaries.
+
+    Prover-side state (witness decomposer closures, cached stages) is
+    routinely unpicklable, so the scheme is reduced to its verifier half
+    first; a scheme that still fails to pickle gets a targeted error
+    instead of a deep ``PicklingError`` from inside the pool.
+    """
+    verifier = scheme.verifier_only()
+    payload = (config, verifier, mapping, location)
+    try:
+        pickle.dumps(payload)
+    except Exception as exc:  # pragma: no cover - exercised via message
+        raise TypeError(
+            "ParallelExecutor needs a picklable (config, verifier, "
+            "labeling) triple; override verifier_only() on "
+            f"{type(scheme).__name__} to return a pickle-safe verifier "
+            f"half ({exc})"
+        ) from exc
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Executors.
+
+
+class VerificationExecutor:
+    """Scheduling strategy for the independent per-vertex checks.
+
+    ``execute`` returns the list of :class:`_ChunkOutcome` actually run,
+    in chunk order.  Implementations must preserve verdict semantics —
+    the same configuration yields the same per-vertex verdicts
+    regardless of scheduling — which the tier-1 property tests assert.
+    """
+
+    name = "executor"
+
+    def execute(self, config, scheme, mapping, location, vertices, fail_fast):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(VerificationExecutor):
+    """In-process execution, one chunk at a time.
+
+    ``chunk_size=None`` means one chunk per round — the legacy loop.
+    Smaller chunks only add timing resolution; verdicts are unaffected.
+    """
+
+    name = "serial"
+
+    def __init__(self, chunk_size: Optional[int] = None):
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+
+    def execute(self, config, scheme, mapping, location, vertices, fail_fast):
+        payload = (config, scheme, mapping, location)
+        chunk_size = self.chunk_size or max(1, len(vertices))
+        outcomes = []
+        for index, chunk in enumerate(_chunked(vertices, chunk_size)):
+            outcome = _verify_chunk(payload, chunk, index, fail_fast)
+            outcomes.append(outcome)
+            if fail_fast and outcome.rejected:
+                break
+        return outcomes
+
+
+class ParallelExecutor(VerificationExecutor):
+    """Chunked fan-out to a ``ProcessPoolExecutor``.
+
+    Verdict-identical to :class:`SerialExecutor`; only the schedule
+    differs.  Under ``fail_fast`` the short-circuit is chunk-granular:
+    the first completed rejecting chunk cancels every not-yet-started
+    chunk (and stops mid-chunk itself), so the covered-vertex set may
+    differ from the serial one — ``accepted`` never does.
+
+    The worker pool is created lazily on the first round and **reused**
+    across rounds — audit campaigns verify hundreds of instances, and a
+    per-round pool would pay process startup each time.  Call
+    :meth:`close` (or use the executor as a context manager) to release
+    the workers; the next round after a close transparently starts a
+    fresh pool.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _pool_for(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _resolve_chunk_size(self, n: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 chunks per worker balances load against dispatch overhead.
+        return max(1, -(-n // (4 * workers)))
+
+    def execute(self, config, scheme, mapping, location, vertices, fail_fast):
+        if not vertices:
+            return []
+        workers = self.max_workers or os.cpu_count() or 1
+        payload = _picklable_payload(config, scheme, mapping, location)
+        chunks = _chunked(
+            vertices, self._resolve_chunk_size(len(vertices), workers)
+        )
+        outcomes = []
+        pool = self._pool_for(workers)
+        pending = {
+            pool.submit(_verify_chunk, payload, chunk, index, fail_fast)
+            for index, chunk in enumerate(chunks)
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            rejected = False
+            for future in done:
+                if future.cancelled():
+                    continue
+                outcome = future.result()
+                outcomes.append(outcome)
+                rejected = rejected or outcome.rejected
+            if fail_fast and rejected:
+                pending = {f for f in pending if not f.cancel()}
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# The engine.
+
+
+class VerificationEngine:
+    """Runs verification rounds under one scheduling/short-circuit policy.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`VerificationExecutor`; defaults to
+        :class:`SerialExecutor`.
+    fail_fast:
+        Stop at the first rejection instead of collecting every verdict.
+        The right mode for audits (only the accept bit matters); the
+        wrong mode for diagnosing *which* vertices reject.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[VerificationExecutor] = None,
+        fail_fast: bool = False,
+    ):
+        self.executor = executor or SerialExecutor()
+        self.fail_fast = fail_fast
+
+    def __repr__(self) -> str:
+        return (
+            f"VerificationEngine(executor={self.executor!r}, "
+            f"fail_fast={self.fail_fast})"
+        )
+
+    def verify(
+        self,
+        config: Configuration,
+        scheme: ProofLabelingScheme,
+        labeling: Labeling,
+    ) -> VerificationReport:
+        """Run one verification round and report it."""
+        if labeling.location != scheme.label_location:
+            raise ValueError(
+                f"labeling location {labeling.location!r} does not match "
+                f"the scheme's {scheme.label_location!r}"
+            )
+        # Deterministic order: executors must agree on which vertex a
+        # fail_fast round reaches first, up to chunk granularity.
+        vertices = sorted(config.graph.vertices(), key=repr)
+        start = perf_counter()
+        outcomes = self.executor.execute(
+            config,
+            scheme,
+            labeling.mapping,
+            labeling.location,
+            vertices,
+            self.fail_fast,
+        )
+        elapsed = perf_counter() - start
+
+        verdicts: dict = {}
+        exception_rejections: list = []
+        for outcome in outcomes:
+            verdicts.update(outcome.verdicts)
+            exception_rejections.extend(outcome.exception_vertices)
+        rejecting = [v for v, ok in verdicts.items() if not ok]
+        exception_set = set(exception_rejections)
+        accepted = not rejecting and len(verdicts) == len(vertices)
+        views_built = sum(o.views_built for o in outcomes)
+        return VerificationReport(
+            accepted=accepted,
+            verdicts=verdicts,
+            vertices_total=len(vertices),
+            views_built=views_built,
+            verdict_rejections=tuple(
+                sorted(
+                    (v for v in rejecting if v not in exception_set),
+                    key=repr,
+                )
+            ),
+            exception_rejections=tuple(sorted(exception_set, key=repr)),
+            executor=self.executor.name,
+            fail_fast=self.fail_fast,
+            short_circuited=self.fail_fast and views_built < len(vertices),
+            chunks=tuple(
+                ChunkTiming(o.index, o.size, o.views_built, o.seconds)
+                for o in outcomes
+            ),
+            elapsed_seconds=elapsed,
+        )
+
+
+def verify_labeling(
+    config: Configuration,
+    scheme: ProofLabelingScheme,
+    labeling: Labeling,
+    engine: Optional[VerificationEngine] = None,
+) -> VerificationReport:
+    """One-call verification round under ``engine`` (default: serial)."""
+    return (engine or VerificationEngine()).verify(config, scheme, labeling)

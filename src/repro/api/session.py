@@ -21,7 +21,6 @@ from repro.courcelle.algebra import BoundedAlgebra
 from repro.courcelle.registry import resolve_algebra
 from repro.pls.model import Configuration
 from repro.pls.scheme import ProverFailure
-from repro.pls.simulator import run_verification
 
 from repro.api.pipeline import (
     CertificationPipeline,
@@ -35,6 +34,7 @@ from repro.api.pipeline import (
     theorem1_stages,
 )
 from repro.api.results import CertificationReport, StageTiming
+from repro.api.runtime import VerificationEngine, VerificationReport
 
 
 @dataclass
@@ -62,6 +62,9 @@ class CertificationSession:
         Forwarded to :class:`repro.api.pipeline.DecomposeStage`.
     rng:
         Source of vertex identifiers for bare-graph targets.
+    engine:
+        The :class:`~repro.api.runtime.VerificationEngine` used for the
+        verification round (``None``: a serial engine).
     """
 
     def __init__(
@@ -70,11 +73,17 @@ class CertificationSession:
         decomposer: Optional[Callable] = None,
         exact_limit: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        engine: Optional[VerificationEngine] = None,
     ):
         self.k = k
         self.decomposer = decomposer
         self.exact_limit = exact_limit
         self.rng = rng or random.Random()
+        self.engine = engine
+        # Lazy fallback kept apart from ``engine``: the facade adopts
+        # explicit arguments onto unset session fields, and a cached
+        # default must not masquerade as user configuration there.
+        self._default_engine: Optional[VerificationEngine] = None
         #: Cumulative {stage name: times run} over the session's lifetime.
         self.stage_counters: dict = {}
         self._structures: dict = {}  # fingerprint -> _Structure
@@ -88,13 +97,24 @@ class CertificationSession:
         """Number of distinct graphs with memoized structure."""
         return len(self._structures)
 
-    def certify(self, target, properties, rng: Optional[random.Random] = None):
+    def certify(
+        self,
+        target,
+        properties,
+        rng: Optional[random.Random] = None,
+        verify: bool = True,
+    ):
         """Prove one or many properties against one target.
 
         ``target`` is a :class:`ConstructionSequence` (native lanewidth
         mode), a :class:`Configuration`, or a bare :class:`Graph` (random
         identifiers are attached).  ``properties`` is a registry key, an
         algebra instance, or a list of either.
+
+        ``verify=False`` skips the verification round (completeness
+        guarantees honest acceptance, so provers that only need labels —
+        e.g. audit case factories — save the dominant cost); run it
+        later with :meth:`verify`.
 
         Returns one :class:`CertificationReport` for a single property,
         or ``{key: report}`` for a list.  Prover refusals are reported
@@ -139,9 +159,43 @@ class CertificationSession:
             reports = {}
             for key, _prop, algebra in resolved:
                 reports[key] = self._certify_one(
-                    structure, config, key, algebra, cache_hit
+                    structure, config, key, algebra, cache_hit, verify
                 )
         return next(iter(reports.values())) if single else reports
+
+    def verify(
+        self,
+        report: CertificationReport,
+        engine: Optional[VerificationEngine] = None,
+    ) -> VerificationReport:
+        """(Re)run the verification round for a certified report.
+
+        Uses ``engine`` (default: the session's) against the report's
+        own artifacts, attaches the structured outcome to the report
+        (``verification``/``result``/``accepted``), and returns it.
+        """
+        if report.refused:
+            raise ValueError("cannot verify a refused report (no labeling)")
+        if report.scheme is None or report.labeling is None:
+            raise ValueError(
+                "report carries no artifacts to verify (was it rebuilt "
+                "from JSON?)"
+            )
+        engine = engine or self._engine()
+        verification = engine.verify(
+            report.config, report.scheme, report.labeling
+        )
+        report.verification = verification
+        report.result = verification.as_result()
+        report.accepted = verification.accepted
+        return verification
+
+    def _engine(self) -> VerificationEngine:
+        if self.engine is not None:
+            return self.engine
+        if self._default_engine is None:
+            self._default_engine = VerificationEngine()
+        return self._default_engine
 
     # ------------------------------------------------------------------
     def _key_of(self, prop) -> str:
@@ -260,7 +314,7 @@ class CertificationSession:
             for t in structure.timings
         )
 
-    def _certify_one(self, structure, config, key, algebra, cache_hit):
+    def _certify_one(self, structure, config, key, algebra, cache_hit, verify=True):
         ctx = structure.ctx.structural_copy(config=config, algebra=algebra)
         pipeline = CertificationPipeline([EvaluateStage(), LabelStage()])
         try:
@@ -278,10 +332,20 @@ class CertificationSession:
             return report
 
         scheme = self._scheme_for(structure, algebra)
-        result = run_verification(config, scheme, ctx.labeling)
+        if verify:
+            verification = self._engine().verify(config, scheme, ctx.labeling)
+            result = verification.as_result()
+            accepted = verification.accepted
+        else:
+            # Completeness (Theorem 1): the honest prover's labeling is
+            # accepted by construction; the round can be replayed later
+            # with session.verify(report).
+            verification = None
+            result = None
+            accepted = True
         return CertificationReport(
             property_key=key,
-            accepted=result.accepted,
+            accepted=accepted,
             n=config.graph.n,
             m=config.graph.m,
             max_width=ctx.max_width,
@@ -295,6 +359,7 @@ class CertificationSession:
             + tuple(property_timings),
             stage_counters=dict(self.stage_counters),
             structure_cached=cache_hit,
+            verification=verification,
             config=config,
             scheme=scheme,
             labeling=ctx.labeling,

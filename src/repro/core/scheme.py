@@ -75,6 +75,18 @@ class CertifyingScheme(ProofLabelingScheme):
         width = len(label.certificate.stack[0].info.lanes)
         return label_bits(label, ctx, width)
 
+    def verifier_only(self):
+        """The verify/measure half without any prover-side state.
+
+        Witness decomposers may be closures and match stages carry cached
+        graphs; neither survives pickling, and neither is needed by the
+        verification round — ``verify`` depends only on the algebra and
+        the certified width.
+        """
+        from repro.api.pipeline import PipelineScheme
+
+        return PipelineScheme(self.algebra, self.max_width, ())
+
 
 # Historical (pre-pipeline) name, kept for external subclasses.
 _CertifyingScheme = CertifyingScheme

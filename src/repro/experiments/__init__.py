@@ -2,10 +2,12 @@
 
 from repro.experiments.reporting import Table, fit_log_slope
 from repro.experiments.workloads import (
+    SeedStream,
     batch_certify,
     lanewidth_workload,
     pathwidth_workload,
     property_truth,
+    seed_stream,
 )
 
 __all__ = [
@@ -15,4 +17,6 @@ __all__ = [
     "lanewidth_workload",
     "pathwidth_workload",
     "property_truth",
+    "SeedStream",
+    "seed_stream",
 ]

@@ -114,27 +114,21 @@ def find_collision(labels_in_order: list) -> Optional[tuple]:
     return None
 
 
-def splice_attack(
-    scheme: ProofLabelingScheme,
-    n: int,
-    rng: Optional[random.Random] = None,
-) -> SpliceOutcome:
-    """Mount the cut-and-splice attack on a path-accepting scheme.
+def forge_spliced_cycle(config: Configuration, labeling: Labeling):
+    """Perform the cut-and-splice surgery on an honestly labeled path.
 
-    Builds the path on ``n`` vertices, runs the honest prover, searches for
-    a repeated consecutive label pair, splices the enclosed segment into a
-    cycle (reusing the very same identifiers and certificates), and runs
-    the verifier on the forged configuration.
+    Searches the path ``0..n-1`` for a repeated consecutive label pair
+    and closes the enclosed segment into a cycle, reusing the very same
+    identifiers and certificates — every vertex of the forgery sees
+    exactly the local view it had on the path.  Returns
+    ``(forged_config, forged_labeling, positions)``, or ``None`` when no
+    collision exists (the scheme's labels are long enough).
     """
-    rng = rng or random.Random(0)
-    graph = path_graph(n)
-    config = Configuration.with_random_ids(graph, rng)
-    labeling = scheme.prove(config)
-    order = list(range(n))  # path vertices in order 0..n-1
+    order = sorted(config.graph.vertices())  # path vertices in order
     labels_in_order = [labeling.mapping[v] for v in order]
     hit = find_collision(labels_in_order)
     if hit is None:
-        return SpliceOutcome(collision_found=False, cycle_accepted=False)
+        return None
     i, j = hit
     segment = order[i + 1 : j + 1]
     cycle = Graph(vertices=segment)
@@ -149,10 +143,32 @@ def splice_attack(
         {v: labeling.mapping[v] for v in segment},
         labeling.size_context,
     )
+    return forged_config, forged_labeling, (i, j)
+
+
+def splice_attack(
+    scheme: ProofLabelingScheme,
+    n: int,
+    rng: Optional[random.Random] = None,
+) -> SpliceOutcome:
+    """Mount the cut-and-splice attack on a path-accepting scheme.
+
+    Builds the path on ``n`` vertices, runs the honest prover, forges a
+    cycle via :func:`forge_spliced_cycle`, and runs the verifier on the
+    forged configuration.
+    """
+    rng = rng or random.Random(0)
+    graph = path_graph(n)
+    config = Configuration.with_random_ids(graph, rng)
+    labeling = scheme.prove(config)
+    forged = forge_spliced_cycle(config, labeling)
+    if forged is None:
+        return SpliceOutcome(collision_found=False, cycle_accepted=False)
+    forged_config, forged_labeling, positions = forged
     result = run_verification(forged_config, scheme, forged_labeling)
     return SpliceOutcome(
         collision_found=True,
         cycle_accepted=result.accepted,
-        cycle_length=len(segment),
-        positions=(i, j),
+        cycle_length=forged_config.graph.n,
+        positions=positions,
     )

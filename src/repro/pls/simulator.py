@@ -1,15 +1,21 @@
-"""The verification-round simulator.
+"""The verification-round simulator (legacy surface).
 
 One round: every vertex receives its local view and outputs accept or
 reject; the scheme accepts iff all vertices accept (Section 1.1).  The
-simulator is the only code that touches global state — verifiers get a
-:class:`LocalView` and nothing else, which keeps the locality guarantee
-auditable.
+round itself now lives in :mod:`repro.api.runtime` — a
+:class:`~repro.api.runtime.VerificationEngine` with pluggable executors,
+fail-fast short-circuiting, and structured
+:class:`~repro.api.runtime.VerificationReport` output.  These helpers
+are kept as behavior-identical shims for legacy callers: a serial,
+exhaustive round returning the plain :class:`VerificationResult`.
+
+Verifiers still get a :class:`LocalView` and nothing else, which keeps
+the locality guarantee auditable.
 """
 
 from __future__ import annotations
 
-from repro.pls.model import Configuration, build_edge_view, build_vertex_view
+from repro.pls.model import Configuration
 from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
 
 
@@ -18,25 +24,16 @@ def run_verification(
     scheme: ProofLabelingScheme,
     labeling: Labeling,
 ) -> VerificationResult:
-    """Run the distributed verification round and collect verdicts."""
-    if labeling.location != scheme.label_location:
-        raise ValueError(
-            f"labeling location {labeling.location!r} does not match the "
-            f"scheme's {scheme.label_location!r}"
-        )
-    build_view = (
-        build_vertex_view if scheme.label_location == "vertices" else build_edge_view
-    )
-    verdicts = {}
-    for vertex in config.graph.vertices():
-        view = build_view(config, vertex, labeling.mapping)
-        try:
-            verdicts[vertex] = bool(scheme.verify(view))
-        except Exception:
-            # A verifier choking on malformed (adversarial) labels rejects:
-            # soundness must hold against arbitrary labelings.
-            verdicts[vertex] = False
-    return VerificationResult(verdicts=verdicts, accepted=all(verdicts.values()))
+    """Run the distributed verification round and collect verdicts.
+
+    Thin shim over :class:`repro.api.runtime.VerificationEngine` (serial
+    executor, no short-circuit); use the engine directly for parallel
+    execution, fail-fast audits, or the structured report.  (The import
+    is deferred: ``repro.api`` depends on this package.)
+    """
+    from repro.api.runtime import VerificationEngine
+
+    return VerificationEngine().verify(config, scheme, labeling).as_result()
 
 
 def prove_and_verify(config: Configuration, scheme: ProofLabelingScheme):
