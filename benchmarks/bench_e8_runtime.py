@@ -1,61 +1,93 @@
-"""E8 — prover and verifier runtime scaling.
+"""E8 — prover, verifier, and store-backed re-verification runtime.
 
 The prover is a centralized algorithm (quasi-linear here); the verifier
-is a single local round, now driven by the pluggable
+is a single local round, driven by the pluggable
 :class:`repro.api.VerificationEngine`.  The table reports wall-clock
 times per n for the serial executor and the chunked process-pool
-executor (identical verdicts, different scheduling), plus the per-vertex
-cost; the benchmark fixture times the n=256 prover.
+executor (identical verdicts, different scheduling), the per-vertex
+cost, and the **stored path**: persist the wire-encoded certificates to
+a :class:`repro.api.CertificateStore`, then load + re-verify from disk
+in a cold session — the certify-once / re-verify-many workflow, whose
+cost excludes every prover stage.  The benchmark fixture times the
+n=256 prover.
 """
 
+import tempfile
 import time
 
-from repro.api import ParallelExecutor, SerialExecutor, VerificationEngine
-from repro.core import LanewidthScheme
+from repro.api import (
+    CertificateStore,
+    CertificationSession,
+    ParallelExecutor,
+    SerialExecutor,
+    VerificationEngine,
+)
 from repro.experiments import Table, lanewidth_workload, seed_stream
-from repro.pls.model import Configuration
 
 SIZES = (64, 256, 1024)
 ROOT_SEED = 8
 
 
-def _prove(n: int, seed: int):
-    sequence, graph = lanewidth_workload(3, n, seed)
-    config = Configuration.with_random_ids(
-        graph, seed_stream(ROOT_SEED, "ids").rng(seed)
+def _prove(n: int, seed: int, store=None):
+    """Certify one lanewidth host (labels only) through the session."""
+    sequence, _graph = lanewidth_workload(3, n, seed)
+    session = CertificationSession(
+        rng=seed_stream(ROOT_SEED, "ids").rng(seed), store=store
     )
-    scheme = LanewidthScheme("connected", sequence)
-    labeling = scheme.prove(config)
-    return config, scheme, labeling
+    report = session.certify(sequence, "connected", verify=False)
+    assert not report.refused, report.refusal
+    return report
 
 
 def test_e8_runtime(benchmark):
     table = Table(
         "E8: runtime scaling (seconds)",
-        ["n", "prove_s", "verify_serial_s", "verify_parallel_s", "verify_per_vertex_ms"],
+        [
+            "n",
+            "prove_s",
+            "verify_serial_s",
+            "verify_parallel_s",
+            "store_reverify_s",
+            "verify_per_vertex_ms",
+        ],
     )
     serial = VerificationEngine(SerialExecutor())
     parallel = VerificationEngine(ParallelExecutor(max_workers=2))
-    for n in SIZES:
-        t0 = time.perf_counter()
-        config, scheme, labeling = _prove(n, seed=n)
-        t1 = time.perf_counter()
-        serial_report = serial.verify(config, scheme, labeling)
-        t2 = time.perf_counter()
-        parallel_report = parallel.verify(config, scheme, labeling)
-        t3 = time.perf_counter()
-        assert serial_report.accepted
-        # Scheduling must not change semantics.
-        assert parallel_report.verdicts == serial_report.verdicts
-        assert serial_report.views_built == n
-        table.add(
-            n,
-            f"{t1 - t0:.3f}",
-            f"{t2 - t1:.3f}",
-            f"{t3 - t2:.3f}",
-            f"{1000 * (t2 - t1) / n:.2f}",
-        )
-    table.show()
+    with tempfile.TemporaryDirectory() as root:
+        store = CertificateStore(root)
+        for n in SIZES:
+            t0 = time.perf_counter()
+            report = _prove(n, seed=n, store=store)
+            t1 = time.perf_counter()
+            config, scheme, labeling = (
+                report.config,
+                report.scheme,
+                report.labeling,
+            )
+            serial_report = serial.verify(config, scheme, labeling)
+            t2 = time.perf_counter()
+            parallel_report = parallel.verify(config, scheme, labeling)
+            t3 = time.perf_counter()
+            # Stored path: decode from disk + run the round, no prover.
+            fingerprint = config.graph.fingerprint()
+            stored = store.reverify(fingerprint, "connected", engine=serial)
+            t4 = time.perf_counter()
+            assert serial_report.accepted
+            # Scheduling must not change semantics.
+            assert parallel_report.verdicts == serial_report.verdicts
+            assert serial_report.views_built == n
+            # The stored round sees the exact same certificates.
+            assert stored.accepted
+            assert stored.labeling.mapping == labeling.mapping
+            table.add(
+                n,
+                f"{t1 - t0:.3f}",
+                f"{t2 - t1:.3f}",
+                f"{t3 - t2:.3f}",
+                f"{t4 - t3:.3f}",
+                f"{1000 * (t2 - t1) / n:.2f}",
+            )
+        table.show()
     parallel.executor.close()
 
     benchmark(_prove, 256, 7)

@@ -36,10 +36,15 @@ def main() -> None:
         print(f"prover refused: {report.refusal}")
         return
     print(f"verification round: all accept = {report.accepted}")
+    print(report.summary())
 
+    # Sizes are *measured*: the exact bit lengths of the labels' wire
+    # encodings (docs/FORMAT.md), not an arithmetic estimate — that one
+    # is reported alongside and is always an upper bound.
     bits = report.max_label_bits
-    print(f"max certificate size: {bits} bits "
-          f"({bits / math.log2(graph.n):.1f} x log2(n))")
+    print(f"max certificate size: {bits} encoded bits "
+          f"({bits / math.log2(graph.n):.1f} x log2(n); "
+          f"accounting bound {report.accounted_max_label_bits} bits)")
     print(f"mean certificate size: {report.mean_label_bits:.1f} bits, "
           f"{report.class_count} homomorphism classes, "
           f"hierarchy depth {report.hierarchy_depth}")

@@ -1,0 +1,92 @@
+"""Certify once, store the certificates, re-verify from disk.
+
+The Theorem 1 prover is the expensive half of the scheme; the
+verification round is one cheap local sweep.  The
+:class:`repro.api.CertificateStore` splits the two across time (and
+processes): ``certify(..., store=...)`` persists the wire-encoded
+certificates (see ``docs/FORMAT.md``), and any later process can
+``store.load(...)`` + verify without re-running a single prover stage.
+
+This example certifies two properties on one network, stores them,
+re-verifies in-process (showing the empty stage counters), and then
+re-verifies from a *separate interpreter* to prove the stored bytes are
+self-sufficient.
+
+Run:  python examples/store_and_reverify.py
+"""
+
+import os
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import CertificateStore, CertificationSession, certify
+from repro.graphs.generators import random_pathwidth_graph
+from repro.pathwidth import PathDecomposition
+
+
+def main() -> None:
+    rng = random.Random(2025)
+    graph, bags = random_pathwidth_graph(48, 2, rng)
+    decomposition = PathDecomposition(graph, bags)
+    fingerprint = graph.fingerprint()
+    print(f"network: n={graph.n}, m={graph.m}, "
+          f"fingerprint {fingerprint[:16]}...")
+
+    with tempfile.TemporaryDirectory() as root:
+        store = CertificateStore(root)
+
+        # -- certify once: prover runs, wire-encoded labels are saved --
+        reports = certify(
+            graph,
+            ["connected", "even-order"],
+            k=2,
+            rng=rng,
+            decomposer=lambda _g: decomposition,
+            store=store,
+        )
+        for key, report in reports.items():
+            print(report.summary())
+            print(f"  stored: {report.encoded.total_bytes} bytes of "
+                  f"certificates ({report.total_label_bits} semantic bits)")
+        print(f"store now holds {len(store)} entries under {root}")
+
+        # -- re-verify in-process: load + one round, zero prover stages --
+        session = CertificationSession()
+        loaded = store.load(fingerprint, "connected")
+        verification = session.verify(loaded)
+        print(f"re-verify from store: {verification.summary()}")
+        print(f"prover stages run on the stored path: "
+              f"{session.stage_counters or 'none'}")
+
+        # -- the same thing from a fresh interpreter: the stored bytes
+        #    are the whole truth, no Python state carries over --
+        script = (
+            "import sys\n"
+            "from repro.api import CertificateStore, VerificationEngine\n"
+            "store = CertificateStore(sys.argv[1])\n"
+            "report = store.reverify(sys.argv[2], 'connected',\n"
+            "                        engine=VerificationEngine())\n"
+            "assert report.accepted, report.verification.summary()\n"
+            "print('fresh process: ' + report.verification.summary())\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, root, fingerprint],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit("fresh-process re-verification failed")
+
+
+if __name__ == "__main__":
+    main()

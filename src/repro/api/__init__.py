@@ -15,7 +15,11 @@ property-level *evaluation* stages; this package exposes that split:
   :class:`VerificationReport` output;
 * :class:`AuditPlan` / :class:`AuditReport` (:mod:`repro.api.audit`) —
   declarative soundness campaigns over the adversary generators, driven
-  by named seed streams.
+  by named seed streams;
+* :class:`CertificateStore` (:mod:`repro.api.store`) — persistence of
+  wire-encoded certificates (:mod:`repro.codec`, ``docs/FORMAT.md``)
+  keyed by graph fingerprint, enabling certify-once / re-verify-many
+  workflows with zero prover stages on the stored path.
 
 The legacy entry points (``Theorem1Scheme``, ``LanewidthScheme``,
 ``certify_lanewidth_graph``) live in :mod:`repro.core` and delegate to
@@ -74,12 +78,16 @@ from repro.api.runtime import (
     verify_labeling,
 )
 from repro.api.session import CertificationSession
+from repro.api.store import CertificateStore, StoreError
 
 __all__ = [
     "certify",
     "CertificationSession",
     "CertificationReport",
     "StageTiming",
+    # Certificate persistence.
+    "CertificateStore",
+    "StoreError",
     # Verification runtime.
     "VerificationEngine",
     "VerificationExecutor",

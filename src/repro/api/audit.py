@@ -453,6 +453,16 @@ class AuditReport:
 class AuditPlan:
     """A declarative soundness campaign.
 
+        plan = AuditPlan(case_factory=make_case,
+                         attacks=[MutationAttack(per_case=6)],
+                         trials=12, root_seed=6)
+        report = plan.run()           # fail-fast serial engine by default
+        report.all_rejected           # every attack attempt rejected?
+        report.tally("mutation").rejection_rate
+
+    Every random choice derives from ``root_seed`` through named
+    streams, so a campaign replays bit-for-bit from one integer.
+
     Parameters
     ----------
     case_factory:
@@ -485,11 +495,12 @@ class AuditPlan:
             raise ValueError(f"attack names must be distinct (got {names})")
         # "/" is the stream-path separator: a name containing it could
         # alias another stream's derivation and silently correlate the
-        # two randomness sources.
-        for name in names:
+        # two randomness sources.  The campaign name sits on the same
+        # derivation path, so it gets the same check.
+        for name in names + [self.name]:
             if "/" in name:
                 raise ValueError(
-                    f"attack name {name!r} must not contain '/'"
+                    f"attack/campaign name {name!r} must not contain '/'"
                 )
 
     def case_rng(self, trial: int) -> random.Random:

@@ -44,6 +44,7 @@ def certify(
     session: Optional[CertificationSession] = None,
     verify: bool = True,
     engine: Optional[VerificationEngine] = None,
+    store=None,
 ):
     """Certify MSO₂ ``properties`` on ``target`` and report the results.
 
@@ -77,10 +78,18 @@ def certify(
         The :class:`~repro.api.runtime.VerificationEngine` running the
         round — pick the executor (serial/parallel) and ``fail_fast``
         policy here.  Defaults to a serial engine.
+    store:
+        Optional :class:`~repro.api.store.CertificateStore`.  Every
+        successful report is persisted to it in wire form (graph
+        fingerprint + codec header + encoded labels), ready for
+        ``store.load(...)`` / ``store.reverify(...)`` in this process or
+        a later one — no prover stage reruns on the stored path.
 
     Returns a single :class:`CertificationReport` when ``properties`` is
     a single key, else ``{key: report}``.  Prover refusals are reported,
-    not raised.
+    not raised.  Report sizes (``max/mean/total_label_bits``) are
+    measured wire-encoding bit lengths; the arithmetic estimate is kept
+    in ``accounted_*_label_bits``.
     """
     if session is None:
         session = CertificationSession(
@@ -89,6 +98,7 @@ def certify(
             exact_limit=exact_limit,
             rng=rng,
             engine=engine,
+            store=store,
         )
     else:
         # Explicit arguments must not be silently dropped: adopt them on
@@ -99,6 +109,7 @@ def certify(
             ("decomposer", decomposer),
             ("exact_limit", exact_limit),
             ("engine", engine),
+            ("store", store),
         ):
             if value is None:
                 continue

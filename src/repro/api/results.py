@@ -7,6 +7,13 @@ honest bit accounting (max/mean/total label bits, class count), the
 structural shape (lane width, hierarchy depth), and per-stage wall-clock
 timings plus the session's cumulative stage counters — the observability
 surface the batching experiments assert against.
+
+Since the wire codec landed, the headline ``*_label_bits`` figures are
+**measured**: the exact bit lengths of the labels' wire encodings
+(:mod:`repro.codec`, ``docs/FORMAT.md``), not arithmetic estimates.  The
+pre-codec accounting of ``label_bits()`` is still reported alongside as
+``accounted_*_label_bits`` — the tier-1 suite asserts measured ≤
+accounted, so the O(log n) claims only ever got *tighter*.
 """
 
 from __future__ import annotations
@@ -70,11 +77,17 @@ class CertificationReport:
     lane_count: Optional[int] = None
     hierarchy_depth: Optional[int] = None
 
-    # Bit accounting (None when the prover refused).
+    # Bit accounting (None when the prover refused).  The unqualified
+    # figures are *measured* — exact wire-encoding bit lengths; the
+    # ``accounted_*`` figures are the arithmetic ``label_bits`` estimate
+    # kept for comparison (measured <= accounted, asserted in tier 1).
     class_count: Optional[int] = None
     max_label_bits: Optional[int] = None
     mean_label_bits: Optional[float] = None
     total_label_bits: Optional[int] = None
+    accounted_max_label_bits: Optional[int] = None
+    accounted_mean_label_bits: Optional[float] = None
+    accounted_total_label_bits: Optional[int] = None
 
     # Observability.
     stage_timings: tuple = ()
@@ -93,6 +106,9 @@ class CertificationReport:
     scheme: object = field(default=None, repr=False, compare=False)
     labeling: object = field(default=None, repr=False, compare=False)
     result: object = field(default=None, repr=False, compare=False)
+    #: The labeling in wire form (:class:`repro.codec.EncodedLabeling`)
+    #: when this report came from a live certify call or a store load.
+    encoded: object = field(default=None, repr=False, compare=False)
 
     def as_tuple(self) -> tuple:
         """Return the legacy ``(config, scheme, labeling, result)`` tuple."""
@@ -131,6 +147,9 @@ class CertificationReport:
             "max_label_bits": self.max_label_bits,
             "mean_label_bits": self.mean_label_bits,
             "total_label_bits": self.total_label_bits,
+            "accounted_max_label_bits": self.accounted_max_label_bits,
+            "accounted_mean_label_bits": self.accounted_mean_label_bits,
+            "accounted_total_label_bits": self.accounted_total_label_bits,
             "stage_timings": [t.to_dict() for t in self.stage_timings],
             "stage_counters": dict(self.stage_counters),
             "structure_cached": self.structure_cached,
@@ -161,6 +180,9 @@ class CertificationReport:
             max_label_bits=data.get("max_label_bits"),
             mean_label_bits=data.get("mean_label_bits"),
             total_label_bits=data.get("total_label_bits"),
+            accounted_max_label_bits=data.get("accounted_max_label_bits"),
+            accounted_mean_label_bits=data.get("accounted_mean_label_bits"),
+            accounted_total_label_bits=data.get("accounted_total_label_bits"),
             stage_timings=tuple(
                 StageTiming.from_dict(t) for t in data.get("stage_timings", ())
             ),
@@ -174,7 +196,12 @@ class CertificationReport:
         )
 
     def summary(self) -> str:
-        """One human-readable line, for examples and benchmark tables."""
+        """One human-readable line, for examples and benchmark tables.
+
+        The bit figures are measured wire-encoding sizes (see
+        ``docs/FORMAT.md``), not the arithmetic estimate — that one is
+        available as ``accounted_max_label_bits``.
+        """
         if self.refused:
             return (
                 f"{self.property_key}: prover refused ({self.refusal}) "
@@ -184,7 +211,7 @@ class CertificationReport:
         cached = ", structure cached" if self.structure_cached else ""
         return (
             f"{self.property_key}: {verdict}, n={self.n}, m={self.m}, "
-            f"max {self.max_label_bits} bits, mean "
+            f"max {self.max_label_bits} encoded bits, mean "
             f"{self.mean_label_bits:.1f} bits, {self.class_count} classes, "
             f"depth {self.hierarchy_depth}{cached}"
         )

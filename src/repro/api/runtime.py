@@ -433,6 +433,15 @@ class ParallelExecutor(VerificationExecutor):
 class VerificationEngine:
     """Runs verification rounds under one scheduling/short-circuit policy.
 
+        engine = VerificationEngine(ParallelExecutor(max_workers=4))
+        report = engine.verify(config, scheme, labeling)
+        report.accepted, report.views_built, report.chunks
+
+    The inputs can come from a live ``certify`` call *or* from a
+    :class:`~repro.api.store.CertificateStore` load — the engine only
+    sees (configuration, verifier, labeling) and never runs a prover
+    stage.
+
     Parameters
     ----------
     executor:

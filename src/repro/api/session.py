@@ -8,6 +8,13 @@ reruns the per-property stages (:class:`EvaluateStage` /
 :class:`LabelStage`).  The session's cumulative ``stage_counters`` make
 the reuse observable: tests assert that ``decompose``/``lanes``/
 ``hierarchy`` ran exactly once across a multi-property batch.
+
+Every successful labeling is additionally *encoded* through the wire
+codec (:mod:`repro.codec`), so the report's ``max/mean/total_label_bits``
+are measured byte-string sizes; when the session carries a
+:class:`~repro.api.store.CertificateStore`, the encoded form is
+persisted automatically and can be re-verified later — in this process
+or another — without any prover stage.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.codec import encode_labeling
 from repro.core.lanewidth import ConstructionSequence, apply_construction
 from repro.courcelle.algebra import BoundedAlgebra
 from repro.courcelle.registry import resolve_algebra
@@ -52,6 +60,11 @@ class _Structure:
 class CertificationSession:
     """Batch/caching front end over the staged pipeline.
 
+        session = CertificationSession(k=2)
+        reports = session.certify(graph, ["connected", "acyclic"])
+        session.stage_counters      # {'decompose': 1, ..., 'evaluate': 2}
+        session.verify(reports["connected"])   # replay the round
+
     Parameters
     ----------
     k:
@@ -65,6 +78,10 @@ class CertificationSession:
     engine:
         The :class:`~repro.api.runtime.VerificationEngine` used for the
         verification round (``None``: a serial engine).
+    store:
+        Optional :class:`~repro.api.store.CertificateStore`; every
+        successful (non-refused) report is persisted to it in wire form
+        as part of :meth:`certify`.
     """
 
     def __init__(
@@ -74,12 +91,14 @@ class CertificationSession:
         exact_limit: Optional[int] = None,
         rng: Optional[random.Random] = None,
         engine: Optional[VerificationEngine] = None,
+        store=None,
     ):
         self.k = k
         self.decomposer = decomposer
         self.exact_limit = exact_limit
         self.rng = rng or random.Random()
         self.engine = engine
+        self.store = store
         # Lazy fallback kept apart from ``engine``: the facade adopts
         # explicit arguments onto unset session fields, and a cached
         # default must not masquerade as user configuration there.
@@ -120,6 +139,11 @@ class CertificationSession:
         or ``{key: report}`` for a list.  Prover refusals are reported
         (``report.refused``), not raised — a false property must not
         abort the rest of the batch.
+
+        Successful labelings are wire-encoded (:mod:`repro.codec`): the
+        report's size figures are measured encoding lengths, the
+        encoded form is attached as ``report.encoded``, and — when the
+        session carries a store — persisted for later re-verification.
         """
         single = isinstance(properties, (str, BoundedAlgebra))
         try:
@@ -332,6 +356,10 @@ class CertificationSession:
             return report
 
         scheme = self._scheme_for(structure, algebra)
+        # The wire encoding is the ground truth for every size figure:
+        # measured bit lengths go in the headline fields, the arithmetic
+        # label_bits estimate rides along as accounted_*.
+        encoded = encode_labeling(ctx.labeling)
         if verify:
             verification = self._engine().verify(config, scheme, ctx.labeling)
             result = verification.as_result()
@@ -343,7 +371,7 @@ class CertificationSession:
             verification = None
             result = None
             accepted = True
-        return CertificationReport(
+        report = CertificationReport(
             property_key=key,
             accepted=accepted,
             n=config.graph.n,
@@ -352,9 +380,12 @@ class CertificationSession:
             lane_count=len(ctx.root.lanes),
             hierarchy_depth=ctx.hierarchy_depth,
             class_count=ctx.class_count,
-            max_label_bits=ctx.labeling.max_label_bits(scheme),
-            mean_label_bits=ctx.labeling.mean_label_bits(scheme),
-            total_label_bits=ctx.labeling.total_label_bits(scheme),
+            max_label_bits=encoded.max_bits,
+            mean_label_bits=encoded.mean_bits,
+            total_label_bits=encoded.total_bits,
+            accounted_max_label_bits=ctx.labeling.max_label_bits(scheme),
+            accounted_mean_label_bits=ctx.labeling.mean_label_bits(scheme),
+            accounted_total_label_bits=ctx.labeling.total_label_bits(scheme),
             stage_timings=self._structure_timings(structure, cache_hit)
             + tuple(property_timings),
             stage_counters=dict(self.stage_counters),
@@ -364,7 +395,11 @@ class CertificationSession:
             scheme=scheme,
             labeling=ctx.labeling,
             result=result,
+            encoded=encoded,
         )
+        if self.store is not None:
+            self.store.save(report)
+        return report
 
     def _refused_report(
         self, key: str, config, failure, stage_timings: tuple = ()

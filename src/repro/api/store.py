@@ -1,0 +1,324 @@
+"""Persistent certificate store: certify once, re-verify many times.
+
+A :class:`CertificateStore` is a directory of certified instances keyed
+by ``(graph fingerprint, property key)``.  Each entry persists exactly
+what a verification round needs — the configuration (graph + vertex
+identifiers), the verifier half of the scheme, and the labeling in
+**wire form** (the shared :class:`~repro.codec.WireHeader` plus one
+encoded byte string per edge; see ``docs/FORMAT.md``) — so a fresh
+process can :meth:`load` the entry and run
+:meth:`~repro.api.runtime.VerificationEngine.verify` (or
+``session.verify(report)``) without ever re-running a prover stage.
+
+    store = CertificateStore("certs/")
+    report = certify(graph, "connected", k=2, store=store)   # saved
+    ...
+    # later, possibly in another process:
+    loaded = store.load(graph.fingerprint(), "connected")
+    verification = store_session.verify(loaded)              # no proving
+
+The on-disk envelope is a pickled manifest (magic-prefixed, versioned):
+graphs, identifiers, and algebra states are arbitrary Python values, so
+the *container* uses pickle while the certificate payloads themselves
+stay raw codec bytes — the part whose size the paper bounds and the
+reports measure.  Entries record the graph fingerprint they were proven
+against and :meth:`load` recomputes it, so a corrupted or swapped graph
+is rejected instead of silently verified.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+from pathlib import Path
+from typing import Optional
+
+from repro.codec import (
+    WIRE_VERSION,
+    CodecError,
+    EncodedLabel,
+    EncodedLabeling,
+    encode_labeling,
+)
+from repro.courcelle.registry import resolve_algebra
+from repro.pls.model import Configuration
+
+#: File magic + envelope version; bumped when the manifest layout changes
+#: (the label payload format is versioned separately by WIRE_VERSION).
+STORE_MAGIC = b"repro-cert\x00"
+STORE_VERSION = 1
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class StoreError(ValueError):
+    """Raised on missing, corrupted, or mismatched store entries."""
+
+
+def _slug(text: str) -> str:
+    """Human-readable filename stem for a property key.
+
+    Distinct keys can collide after slugging (e.g. the session's
+    duplicate suffix ``colorable#2`` vs a real ``colorable-2`` key), so
+    the stem always ends with a short digest of the *exact* key — two
+    different keys never share an entry path.
+    """
+    import hashlib
+
+    stem = _SLUG_RE.sub("-", text) or "property"
+    digest = hashlib.blake2b(text.encode(), digest_size=4).hexdigest()
+    return f"{stem}-{digest}"
+
+
+class CertificateStore:
+    """A directory of persisted certificates, one file per entry.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created on first use).  Entry
+        files are named ``<fingerprint prefix>-<property slug>-<key
+        digest>.cert`` — the digest keeps distinct property keys on
+        distinct paths even when they slug identically; the full
+        fingerprint lives inside the envelope and is what :meth:`load`
+        matches on.
+
+    The store is deliberately dumb — no index, no locking — because the
+    workload it serves (benchmarks and deployments that certify once and
+    re-verify many times) is append-mostly and fingerprint-addressed.
+    """
+
+    suffix = ".cert"
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str, property_key: str) -> Path:
+        """Deterministic entry path for one ``(graph, property)`` pair."""
+        return self.root / (
+            f"{fingerprint[:16]}-{_slug(property_key)}{self.suffix}"
+        )
+
+    def __contains__(self, key) -> bool:
+        fingerprint, property_key = key
+        return self.path_for(fingerprint, property_key).exists()
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob(f"*{self.suffix}")))
+
+    def entries(self) -> list:
+        """Return ``(fingerprint, property_key, path)`` for every entry."""
+        out = []
+        for path in sorted(self.root.glob(f"*{self.suffix}")):
+            manifest = self._read(path)
+            out.append((manifest["fingerprint"], manifest["property_key"], path))
+        return out
+
+    # ------------------------------------------------------------------
+    def save(self, report) -> Path:
+        """Persist one certified report; return the entry path.
+
+        The report must carry its artifacts (``config`` + ``labeling``,
+        i.e. it came from a live ``certify`` call, not from JSON) and
+        must not be a prover refusal.  The labeling is persisted in wire
+        form — ``report.encoded`` when the session already encoded it,
+        else encoded here — and the structured report metadata rides
+        along so :meth:`load` can hand back a fully populated
+        :class:`~repro.api.results.CertificationReport`.
+        """
+        if report.refused:
+            raise StoreError("cannot store a refused report (no labeling)")
+        if report.config is None or report.labeling is None:
+            raise StoreError(
+                "report carries no artifacts to store (was it rebuilt "
+                "from JSON?)"
+            )
+        encoded = getattr(report, "encoded", None)
+        if encoded is None:
+            encoded = encode_labeling(report.labeling)
+        config = report.config
+        fingerprint = config.graph.fingerprint()
+        scheme = report.scheme
+        algebra = getattr(scheme, "algebra", None)
+        if algebra is None or getattr(scheme, "max_width", None) is None:
+            raise StoreError(
+                "report scheme must expose the verifier half "
+                "(algebra + max_width) to be storable"
+            )
+        manifest = {
+            "store_version": STORE_VERSION,
+            "wire_version": WIRE_VERSION,
+            "fingerprint": fingerprint,
+            "property_key": report.property_key,
+            "graph": config.graph,
+            "ids": dict(config.ids),
+            "algebra_key": getattr(algebra, "key", None),
+            "algebra": algebra,
+            "max_width": scheme.max_width,
+            "header": encoded.header,
+            "labels": {
+                key: (enc.data, enc.bit_length)
+                for key, enc in encoded.labels.items()
+            },
+            "location": encoded.location,
+            "report": report.to_dict(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(fingerprint, report.property_key)
+        payload = STORE_MAGIC + pickle.dumps(manifest, protocol=4)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)  # atomic publish: readers never see half a file
+        return path
+
+    # ------------------------------------------------------------------
+    def _read(self, path: Path) -> dict:
+        try:
+            payload = Path(path).read_bytes()
+        except OSError as exc:
+            raise StoreError(f"cannot read store entry {path}: {exc}") from exc
+        if not payload.startswith(STORE_MAGIC):
+            raise StoreError(f"{path} is not a certificate store entry")
+        try:
+            manifest = pickle.loads(payload[len(STORE_MAGIC):])
+        except Exception as exc:
+            # Truncated/bit-flipped envelopes must surface as the
+            # documented StoreError, not a raw pickle exception.
+            raise StoreError(
+                f"corrupted store envelope in {path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise StoreError(f"corrupted store envelope in {path}")
+        if manifest.get("store_version") != STORE_VERSION:
+            raise StoreError(
+                f"unsupported store version {manifest.get('store_version')} "
+                f"in {path} (this build speaks v{STORE_VERSION})"
+            )
+        missing = [
+            key
+            for key in (
+                "fingerprint",
+                "property_key",
+                "graph",
+                "ids",
+                "algebra",
+                "algebra_key",
+                "max_width",
+                "header",
+                "labels",
+                "location",
+                "report",
+            )
+            if key not in manifest
+        ]
+        if missing:
+            raise StoreError(
+                f"store entry {path} is missing fields: {', '.join(missing)}"
+            )
+        return manifest
+
+    def load(
+        self,
+        fingerprint: str,
+        property_key: str,
+        path: Optional[Path] = None,
+    ):
+        """Rehydrate one entry as a ready-to-verify report.
+
+        Returns a :class:`~repro.api.results.CertificationReport` whose
+        artifacts (``config``, verifier-half ``scheme``, decoded
+        ``labeling``, and the wire-form ``encoded``) are reconstructed
+        from disk: ``session.verify(report)`` or a bare
+        :class:`~repro.api.runtime.VerificationEngine` can run the round
+        immediately, with zero prover stages.  The stored graph is
+        re-fingerprinted on load and must match both the requested and
+        the recorded fingerprint.
+        """
+        path = path or self.path_for(fingerprint, property_key)
+        manifest = self._read(path)
+        if manifest["property_key"] != property_key:
+            raise StoreError(
+                f"{path} holds property {manifest['property_key']!r}, "
+                f"not {property_key!r}"
+            )
+        if manifest["fingerprint"] != fingerprint:
+            raise StoreError(
+                f"{path} holds fingerprint "
+                f"{manifest['fingerprint'][:16]}..., caller asked for "
+                f"{fingerprint[:16]}..."
+            )
+        return self._rehydrate(manifest, path)
+
+    def _rehydrate(self, manifest: dict, path: Path):
+        """Build the ready-to-verify report from a validated manifest."""
+        from repro.api.pipeline import PipelineScheme
+        from repro.api.results import CertificationReport
+
+        graph = manifest["graph"]
+        observed = graph.fingerprint()
+        if observed != manifest["fingerprint"]:
+            raise StoreError(
+                f"graph fingerprint mismatch in {path}: entry claims "
+                f"{manifest['fingerprint'][:16]}..., graph hashes to "
+                f"{observed[:16]}..."
+            )
+        encoded = EncodedLabeling(
+            header=manifest["header"],
+            labels={
+                key: EncodedLabel(data=data, bit_length=bits)
+                for key, (data, bits) in manifest["labels"].items()
+            },
+            location=manifest["location"],
+        )
+        try:
+            labeling = encoded.decode()
+        except CodecError as exc:
+            raise StoreError(
+                f"corrupted certificate payload in {path}: {exc}"
+            ) from exc
+        algebra = manifest["algebra"]
+        if algebra is None and manifest["algebra_key"] is not None:
+            algebra = resolve_algebra(manifest["algebra_key"])
+        config = Configuration(graph, manifest["ids"])
+        scheme = PipelineScheme(algebra, manifest["max_width"], ())
+        report = CertificationReport.from_dict(manifest["report"])
+        report.config = config
+        report.scheme = scheme
+        report.labeling = labeling
+        report.encoded = encoded
+        return report
+
+    def load_path(self, path) -> "CertificationReport":
+        """Rehydrate an entry from an explicit file path.
+
+        The manifest is read and validated once (no double parse); the
+        recorded fingerprint is still checked against the stored graph.
+        """
+        path = Path(path)
+        return self._rehydrate(self._read(path), path)
+
+    # ------------------------------------------------------------------
+    def reverify(
+        self,
+        fingerprint: str,
+        property_key: str,
+        engine=None,
+    ):
+        """Load one entry and run the verification round on it.
+
+        Returns the loaded report with ``report.verification`` /
+        ``report.accepted`` refreshed by the round — the certify-once /
+        re-verify-many fast path, with no prover stage anywhere.
+        """
+        from repro.api.runtime import VerificationEngine
+
+        report = self.load(fingerprint, property_key)
+        engine = engine or VerificationEngine()
+        verification = engine.verify(
+            report.config, report.scheme, report.labeling
+        )
+        report.verification = verification
+        report.result = verification.as_result()
+        report.accepted = verification.accepted
+        return report

@@ -26,6 +26,13 @@ O(log n)).
 Homomorphism classes are shipped as algebra states (finite domain for
 fixed property and lanewidth) and *charged* as ``ceil(log2 |C|)``-bit
 indices via the :class:`ClassIndexer` — see DESIGN.md's accounting note.
+
+The size formulas at the bottom of this module are the *accounted*
+figures (arithmetic over field widths).  Since the wire codec landed,
+the ground truth is the actual encoding: :mod:`repro.codec` serializes
+every :class:`Theorem1Label` to bits per ``docs/FORMAT.md``, reports
+quote those measured lengths, and the tier-1 suite asserts
+measured ≤ accounted.
 """
 
 from __future__ import annotations

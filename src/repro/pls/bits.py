@@ -7,6 +7,11 @@ per-label formula built from the helpers here, with identifier fields
 costing ``id_bits = ceil(log2(id_universe))`` and counters costing their
 binary width.  This mirrors the paper's accounting: an O(log n)-bit label
 is a constant number of ID-sized and counter fields.
+
+For Theorem 1 labels these formulas are now the *upper bound*: the wire
+codec (:mod:`repro.codec`, spec in ``docs/FORMAT.md``) encodes each
+label to actual bits, and the measured lengths — asserted ≤ the
+accounted ones — are what reports quote.
 """
 
 from __future__ import annotations
@@ -45,6 +50,10 @@ class SizeContext:
 
     def __init__(self, n: int, universe_bits: int = 32, class_count: int = 1):
         self.n = n
+        # Kept verbatim so the wire codec can rebuild an identical
+        # context from its header (repro.codec.wire.WireHeader).
+        self.universe_bits = universe_bits
+        self.class_count = class_count
         self.id_bits = id_bits_for(n, universe_bits)
         self.counter_bits = counter_bits_for(n)
         # Homomorphism classes are a finite set for fixed (property, k);

@@ -1,0 +1,212 @@
+"""Tests for the persistent certificate store (repro.api.store).
+
+The acceptance contract: ``certify → store.save → (fresh process)
+store.load → verification round accepts``, with no prover stage re-run —
+asserted through the session stage counters, which must stay empty on
+the stored path.
+"""
+
+import os
+import pickle
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CertificateStore,
+    CertificationSession,
+    StoreError,
+    VerificationEngine,
+    certify,
+)
+from repro.api.store import STORE_MAGIC
+from repro.experiments import lanewidth_workload
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _certified(tmp_path, seed=51, n=20, store=None):
+    sequence, graph = lanewidth_workload(3, n, seed)
+    report = certify(
+        sequence, "connected", rng=random.Random(seed + 1), store=store
+    )
+    assert report.accepted and not report.refused
+    return report, graph
+
+
+class TestSaveLoad:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path)
+        path = store.save(report)
+        assert path.exists()
+        fingerprint = graph.fingerprint()
+        assert (fingerprint, "connected") in store
+        assert len(store) == 1
+
+        loaded = store.load(fingerprint, "connected")
+        assert loaded.property_key == "connected"
+        assert loaded.labeling.mapping == report.labeling.mapping
+        assert loaded.max_label_bits == report.max_label_bits
+        assert loaded.encoded.max_bits == report.encoded.max_bits
+        # The rehydrated config is the same network.
+        assert loaded.config.graph.fingerprint() == fingerprint
+        assert loaded.config.ids == report.config.ids
+
+    def test_certify_with_store_saves_automatically(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=52, store=store)
+        assert (graph.fingerprint(), "connected") in store
+        # entries() lists what certify persisted.
+        [(fingerprint, key, _path)] = store.entries()
+        assert (fingerprint, key) == (graph.fingerprint(), "connected")
+
+    def test_session_store_saves_batches(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        sequence, graph = lanewidth_workload(3, 16, 53)
+        session = CertificationSession(rng=random.Random(54), store=store)
+        reports = session.certify(sequence, ["connected", "even-order"])
+        saved = {key for _f, key, _p in store.entries()}
+        accepted = {k for k, r in reports.items() if not r.refused}
+        assert accepted <= saved | {"connected", "even-order"}
+        for key in accepted:
+            assert (graph.fingerprint(), key) in store
+
+    def test_refused_report_is_not_storable(self, tmp_path):
+        from repro.graphs.generators import cycle_graph
+
+        store = CertificateStore(tmp_path)
+        # An odd cycle is not bipartite: the honest prover must refuse,
+        # and a refusal has no labeling to persist.
+        report = certify(
+            cycle_graph(7), "bipartite", k=2, rng=random.Random(56), store=store
+        )
+        assert report.refused
+        with pytest.raises(StoreError):
+            store.save(report)
+        assert len(store) == 0
+
+    def test_json_rebuilt_report_is_not_storable(self, tmp_path):
+        from repro.api import CertificationReport
+
+        store = CertificateStore(tmp_path)
+        report, _graph = _certified(tmp_path, seed=57)
+        rebuilt = CertificationReport.from_dict(report.to_dict())
+        with pytest.raises(StoreError):
+            store.save(rebuilt)
+
+
+class TestReverifyWithoutProving:
+    def test_session_verify_runs_no_prover_stage(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=61, store=store)
+        loaded = store.load(graph.fingerprint(), "connected")
+        session = CertificationSession()
+        verification = session.verify(loaded)
+        assert verification.accepted
+        assert loaded.accepted
+        # The stored path never touches a prover stage.
+        assert session.stage_counters == {}
+
+    def test_store_reverify_helper(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=62, store=store)
+        out = store.reverify(
+            graph.fingerprint(), "connected", engine=VerificationEngine()
+        )
+        assert out.accepted
+        assert out.verification.accepted
+        assert out.verification.views_built == out.n
+
+    def test_fresh_process_load_and_verify(self, tmp_path):
+        """The acceptance criterion, literally: a separate interpreter
+        loads the entry and the verification round accepts, with the
+        stage counters proving no prover stage ran."""
+        store = CertificateStore(tmp_path)
+        _report, graph = _certified(tmp_path, seed=63, store=store)
+        script = (
+            "import sys\n"
+            "from repro.api import CertificateStore, CertificationSession\n"
+            "store = CertificateStore(sys.argv[1])\n"
+            "report = store.load(sys.argv[2], 'connected')\n"
+            "session = CertificationSession()\n"
+            "verification = session.verify(report)\n"
+            "assert verification.accepted, verification.summary()\n"
+            "assert session.stage_counters == {}, session.stage_counters\n"
+            "print('REVERIFIED', report.max_label_bits)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path), graph.fingerprint()],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "REVERIFIED" in proc.stdout
+
+
+class TestIntegrity:
+    def test_missing_entry(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.load("0" * 32, "connected")
+
+    def test_non_store_file_rejected(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        bogus = tmp_path / "bogus.cert"
+        bogus.write_bytes(b"definitely not a certificate")
+        with pytest.raises(StoreError):
+            store.load_path(bogus)
+
+    def test_truncated_envelope_rejected(self, tmp_path):
+        # A bit-flipped or truncated pickle after the magic must surface
+        # as StoreError, never a raw pickle exception.
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=66, store=store)
+        path = store.path_for(graph.fingerprint(), "connected")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(StoreError):
+            store.load(graph.fingerprint(), "connected")
+        path.write_bytes(STORE_MAGIC + b"\x80garbage")
+        with pytest.raises(StoreError):
+            store.load(graph.fingerprint(), "connected")
+
+    def test_missing_manifest_fields_rejected(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=67, store=store)
+        path = store.path_for(graph.fingerprint(), "connected")
+        manifest = pickle.loads(path.read_bytes()[len(STORE_MAGIC):])
+        del manifest["labels"]
+        path.write_bytes(STORE_MAGIC + pickle.dumps(manifest, protocol=4))
+        with pytest.raises(StoreError, match="missing fields"):
+            store.load(graph.fingerprint(), "connected")
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=64, store=store)
+        with pytest.raises(StoreError):
+            store.load(
+                "f" * len(graph.fingerprint()),
+                "connected",
+                path=store.path_for(graph.fingerprint(), "connected"),
+            )
+
+    def test_corrupted_label_payload_rejected(self, tmp_path):
+        store = CertificateStore(tmp_path)
+        report, graph = _certified(tmp_path, seed=65, store=store)
+        path = store.path_for(graph.fingerprint(), "connected")
+        manifest = pickle.loads(path.read_bytes()[len(STORE_MAGIC):])
+        # Truncate one certificate payload: the decoder must flag it.
+        key = next(iter(manifest["labels"]))
+        data, bits = manifest["labels"][key]
+        manifest["labels"][key] = (data[: max(1, len(data) // 4)], bits)
+        path.write_bytes(STORE_MAGIC + pickle.dumps(manifest, protocol=4))
+        with pytest.raises(StoreError):
+            store.load(graph.fingerprint(), "connected")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` (plus any extra paths given on the
+command line) for inline markdown links and reference definitions,
+resolves every relative target against the linking file's directory, and
+exits non-zero listing each target that does not exist on disk.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#...``) are skipped; a ``path#fragment`` link is checked for the
+``path`` part only.
+
+Used by the CI ``docs`` job; run locally with::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) — target up to the first
+#: unescaped ')' (good enough for the plain paths these docs use).
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [label]: target
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced and inline code spans — links there are examples."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def targets_in(path: Path) -> list:
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    found = _INLINE.findall(text) + _REFDEF.findall(text)
+    return [t for t in found if t]
+
+
+def check_file(path: Path) -> list:
+    """Return ``(target, resolved)`` for every broken relative link."""
+    broken = []
+    for target in targets_in(path):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            broken.append((target, resolved))
+    return broken
+
+
+def _display(path: Path) -> str:
+    """Repo-relative rendering when possible, verbatim otherwise."""
+    try:
+        return str(path.resolve().relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def main(argv: list) -> int:
+    files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    files += [Path(arg) for arg in argv]
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"MISSING FILE {path}")
+            failures += 1
+            continue
+        for target, resolved in check_file(path):
+            print(f"BROKEN {_display(path)}: ({target}) -> {resolved}")
+            failures += 1
+    checked = ", ".join(_display(p) for p in files if p.exists())
+    if failures:
+        print(f"{failures} broken link(s) across {checked}")
+        return 1
+    print(f"all relative links resolve across {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
