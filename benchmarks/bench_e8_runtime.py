@@ -3,15 +3,25 @@
 The prover is a centralized algorithm (quasi-linear here); the verifier
 is a single local round, driven by the pluggable
 :class:`repro.api.VerificationEngine`.  The table reports wall-clock
-times per n for the serial executor and the chunked process-pool
-executor (identical verdicts, different scheduling), the per-vertex
-cost, and the **stored path**: persist the wire-encoded certificates to
-a :class:`repro.api.CertificateStore`, then load + re-verify from disk
-in a cold session — the certify-once / re-verify-many workflow, whose
-cost excludes every prover stage.  The benchmark fixture times the
-n=256 prover.
+times per n for the serial executor and the pool-resident range-chunked
+process-pool executor (identical verdicts, different scheduling), the
+views-built throughput of each, and the **stored path**: persist the
+wire-encoded certificates to a :class:`repro.api.CertificateStore`, then
+load + re-verify from disk in a cold session — the certify-once /
+re-verify-many workflow, whose cost excludes every prover stage.
+
+The whole series is persisted for trajectory tracking: one
+machine-readable ``BENCH_JSON`` line on stdout *and* a ``BENCH_E8.json``
+file (path override: ``E8_OUT``), which CI uploads as an artifact.  The
+first committed baseline lives at ``benchmarks/BENCH_E8.json``.
+
+Environment knobs: ``E8_SIZES`` (comma-separated n values; CI's smoke
+step uses a tiny workload) and ``E8_OUT``.  The benchmark fixture times
+the n=256 prover.
 """
 
+import json
+import os
 import tempfile
 import time
 
@@ -24,7 +34,10 @@ from repro.api import (
 )
 from repro.experiments import Table, lanewidth_workload, seed_stream
 
-SIZES = (64, 256, 1024)
+SIZES = tuple(
+    int(size) for size in os.environ.get("E8_SIZES", "64,256,1024").split(",")
+)
+OUT_PATH = os.environ.get("E8_OUT", "BENCH_E8.json")
 ROOT_SEED = 8
 
 
@@ -48,9 +61,11 @@ def test_e8_runtime(benchmark):
             "verify_serial_s",
             "verify_parallel_s",
             "store_reverify_s",
-            "verify_per_vertex_ms",
+            "serial_views/s",
+            "parallel_views/s",
         ],
     )
+    payload = {"bench": "e8_runtime", "property": "connected", "series": []}
     serial = VerificationEngine(SerialExecutor())
     parallel = VerificationEngine(ParallelExecutor(max_workers=2))
     with tempfile.TemporaryDirectory() as root:
@@ -73,21 +88,49 @@ def test_e8_runtime(benchmark):
             stored = store.reverify(fingerprint, "connected", engine=serial)
             t4 = time.perf_counter()
             assert serial_report.accepted
-            # Scheduling must not change semantics.
+            # Scheduling must not change semantics (the smoke step's
+            # serial == parallel verdict assertion).
             assert parallel_report.verdicts == serial_report.verdicts
+            assert parallel_report.accepted == serial_report.accepted
             assert serial_report.views_built == n
+            assert parallel_report.views_built == n
             # The stored round sees the exact same certificates.
             assert stored.accepted
             assert stored.labeling.mapping == labeling.mapping
+            serial_s = t2 - t1
+            parallel_s = t3 - t2
+            reverify_s = t4 - t3
+            point = {
+                "n": n,
+                "prove_s": round(t1 - t0, 6),
+                "serial_s": round(serial_s, 6),
+                "parallel_s": round(parallel_s, 6),
+                "reverify_s": round(reverify_s, 6),
+                "serial_views_per_s": round(
+                    serial_report.views_built / serial_s, 1
+                ),
+                "parallel_views_per_s": round(
+                    parallel_report.views_built / parallel_s, 1
+                ),
+            }
+            payload["series"].append(point)
             table.add(
                 n,
-                f"{t1 - t0:.3f}",
-                f"{t2 - t1:.3f}",
-                f"{t3 - t2:.3f}",
-                f"{t4 - t3:.3f}",
-                f"{1000 * (t2 - t1) / n:.2f}",
+                f"{point['prove_s']:.3f}",
+                f"{serial_s:.3f}",
+                f"{parallel_s:.3f}",
+                f"{reverify_s:.3f}",
+                f"{point['serial_views_per_s']:.0f}",
+                f"{point['parallel_views_per_s']:.0f}",
             )
         table.show()
     parallel.executor.close()
 
-    benchmark(_prove, 256, 7)
+    with open(OUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
+
+    # Scale the timed prover with the workload so E8_SIZES smoke runs
+    # (CI) stay tiny; the default series still times the n=256 prover.
+    benchmark(_prove, min(256, max(SIZES)), 7)

@@ -19,17 +19,25 @@ local view).  The design mirrors the distributed reality:
   audits where only the accept/reject bit matters.  The report's
   ``views_built`` counter makes the saving observable.
 
+Both executors build views through one per-round
+:class:`~repro.pls.model.ViewFactory` — identifiers, input labels, and
+certificates resolved into CSR-parallel arrays once, then each vertex's
+:class:`~repro.pls.model.LocalView` is a pair of array slices.
+
 Exception accounting: a verifier raising on malformed (adversarial)
 labels still *rejects* — soundness must hold against arbitrary labelings
 — but the report counts these ``exception_rejections`` separately from
 ordinary ``verdict_rejections`` so scheme bugs on honest labelings are
 not silently folded into soundness wins.
 
-Cross-process dispatch pickles ``(config, verifier, labeling)``.  Prover
-state frequently is not picklable (witness decomposer closures, cached
-match stages), so :class:`ParallelExecutor` ships
-``scheme.verifier_only()`` — the pickle-safe verifier half every
-:class:`~repro.pls.scheme.ProofLabelingScheme` now exposes.
+Cross-process dispatch is *pool-resident*: the ``(config, verifier,
+labeling)`` payload is pickled exactly once per pool lifetime and handed
+to every worker through the ``ProcessPoolExecutor`` initializer, where
+it is rebuilt into a resident ``ViewFactory``; chunk submissions then
+carry only ``(start, stop)`` vertex ranges.  Prover state frequently is
+not picklable (witness decomposer closures, cached match stages), so the
+payload ships ``scheme.verifier_only()`` — the pickle-safe verifier half
+every :class:`~repro.pls.scheme.ProofLabelingScheme` exposes.
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Optional
 
-from repro.pls.model import Configuration, build_edge_view, build_vertex_view
+from repro.pls.model import Configuration, ViewFactory
 from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
 
 
@@ -225,23 +233,27 @@ class _ChunkOutcome:
     rejected: bool  # saw at least one rejection (fail_fast trigger)
 
 
-def _verify_chunk(payload, vertices, index: int, fail_fast: bool) -> _ChunkOutcome:
-    """Check one chunk of vertices; module-level so pools can import it.
-
-    ``payload`` is ``(config, scheme, mapping, location)``; only the
-    verifier half of the scheme is exercised, which is what makes the
-    cross-process variant safe (see :func:`_picklable_payload`).
-    """
-    config, scheme, mapping, location = payload
-    build_view = build_vertex_view if location == "vertices" else build_edge_view
-    start = perf_counter()
+def _run_range(
+    factory: ViewFactory,
+    scheme,
+    order: list,
+    start: int,
+    stop: int,
+    index: int,
+    fail_fast: bool,
+) -> _ChunkOutcome:
+    """Check canonical-order positions ``start..stop`` of one round."""
+    names = factory.vertices
+    began = perf_counter()
     verdicts: dict = {}
     exceptions: list = []
     views = 0
     rejected = False
-    for vertex in vertices:
-        view = build_view(config, vertex, mapping)
+    for position in range(start, stop):
+        dense = order[position]
+        view = factory.view_at(dense)
         views += 1
+        vertex = names[dense]
         try:
             ok = bool(scheme.verify(view))
         except Exception:
@@ -256,34 +268,43 @@ def _verify_chunk(payload, vertices, index: int, fail_fast: bool) -> _ChunkOutco
                 break
     return _ChunkOutcome(
         index=index,
-        size=len(vertices),
+        size=stop - start,
         verdicts=verdicts,
         exception_vertices=tuple(exceptions),
         views_built=views,
-        seconds=perf_counter() - start,
+        seconds=perf_counter() - began,
         rejected=rejected,
     )
 
 
-def _chunked(vertices: list, chunk_size: int) -> list:
+def _ranges(total: int, chunk_size: int) -> list:
     return [
-        vertices[i : i + chunk_size]
-        for i in range(0, len(vertices), chunk_size)
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
     ]
 
 
-def _picklable_payload(config, scheme, mapping, location):
-    """Return a payload safe to ship across process boundaries.
+def _ship_payload(config, scheme, mapping, location, order) -> bytes:
+    """Pickle the round payload once, for the pool initializer.
+
+    ``order`` is the engine-chosen verification order as dense CSR
+    indices; shipping it with the payload (instead of re-deriving it in
+    each worker) keeps chunk ranges meaningful for *any* vertex list the
+    caller passes and for any vertex type, whatever its ``repr`` does
+    across processes.
 
     Prover-side state (witness decomposer closures, cached stages) is
     routinely unpicklable, so the scheme is reduced to its verifier half
     first; a scheme that still fails to pickle gets a targeted error
-    instead of a deep ``PicklingError`` from inside the pool.
+    instead of a deep ``PicklingError`` from inside the pool.  The
+    returned bytes are the *only* serialization of the payload — there
+    is no separate validation pass, and the counter test in tier 1 pins
+    ``pickle.dumps`` to one call per pool lifetime.
     """
     verifier = scheme.verifier_only()
-    payload = (config, verifier, mapping, location)
+    payload = (config, verifier, mapping, location, order)
     try:
-        pickle.dumps(payload)
+        return pickle.dumps(payload)
     except Exception as exc:  # pragma: no cover - exercised via message
         raise TypeError(
             "ParallelExecutor needs a picklable (config, verifier, "
@@ -291,7 +312,25 @@ def _picklable_payload(config, scheme, mapping, location):
             f"{type(scheme).__name__} to return a pickle-safe verifier "
             f"half ({exc})"
         ) from exc
-    return payload
+
+
+# -- worker-process state (set once per pool by the initializer) --------
+
+_WORKER_ROUND = None  # (ViewFactory, verifier scheme, canonical order)
+
+
+def _init_worker(payload_bytes: bytes) -> None:
+    """Pool initializer: rebuild the resident round state in this worker."""
+    global _WORKER_ROUND
+    config, scheme, mapping, location, order = pickle.loads(payload_bytes)
+    factory = ViewFactory(config, mapping, location)
+    _WORKER_ROUND = (factory, scheme, order)
+
+
+def _verify_range(start: int, stop: int, index: int, fail_fast: bool) -> _ChunkOutcome:
+    """Worker-side chunk entry point: a plain vertex range, nothing else."""
+    factory, scheme, order = _WORKER_ROUND
+    return _run_range(factory, scheme, order, start, stop, index, fail_fast)
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +360,7 @@ class SerialExecutor(VerificationExecutor):
 
     ``chunk_size=None`` means one chunk per round — the legacy loop.
     Smaller chunks only add timing resolution; verdicts are unaffected.
+    One :class:`ViewFactory` serves the whole round.
     """
 
     name = "serial"
@@ -331,11 +371,16 @@ class SerialExecutor(VerificationExecutor):
         self.chunk_size = chunk_size
 
     def execute(self, config, scheme, mapping, location, vertices, fail_fast):
-        payload = (config, scheme, mapping, location)
+        if not vertices:
+            return []
+        factory = ViewFactory(config, mapping, location)
+        order = [factory.index_of(v) for v in vertices]
         chunk_size = self.chunk_size or max(1, len(vertices))
         outcomes = []
-        for index, chunk in enumerate(_chunked(vertices, chunk_size)):
-            outcome = _verify_chunk(payload, chunk, index, fail_fast)
+        for index, (start, stop) in enumerate(_ranges(len(order), chunk_size)):
+            outcome = _run_range(
+                factory, scheme, order, start, stop, index, fail_fast
+            )
             outcomes.append(outcome)
             if fail_fast and outcome.rejected:
                 break
@@ -343,20 +388,39 @@ class SerialExecutor(VerificationExecutor):
 
 
 class ParallelExecutor(VerificationExecutor):
-    """Chunked fan-out to a ``ProcessPoolExecutor``.
+    """Range-chunked fan-out to a pool-resident ``ProcessPoolExecutor``.
 
     Verdict-identical to :class:`SerialExecutor`; only the schedule
     differs.  Under ``fail_fast`` the short-circuit is chunk-granular:
-    the first completed rejecting chunk cancels every not-yet-started
-    chunk (and stops mid-chunk itself), so the covered-vertex set may
-    differ from the serial one — ``accepted`` never does.
+    after the first completed rejecting chunk no further chunk is
+    *dispatched* (submission is windowed, so at most
+    ``dispatch_window`` chunks are ever in flight), already-submitted
+    chunks are cancelled where possible, and the rejecting chunk stops
+    mid-range itself.  The covered-vertex set may differ from the serial
+    one — ``accepted`` never does.
 
-    The worker pool is created lazily on the first round and **reused**
-    across rounds — audit campaigns verify hundreds of instances, and a
-    per-round pool would pay process startup each time.  Call
-    :meth:`close` (or use the executor as a context manager) to release
-    the workers; the next round after a close transparently starts a
-    fresh pool.
+    The payload ships **once per pool**: creating the pool pickles
+    ``(config, verifier, labeling, verification order)`` a single time
+    into the worker initializer, which rebuilds it into a resident
+    :class:`~repro.pls.model.ViewFactory`; per-chunk submissions carry
+    only ``(start, stop)`` ranges into the shipped order.  A pool is
+    therefore bound to one payload — repeated rounds over the *same*
+    (config, scheme, mapping) objects reuse it (the store's
+    re-verify-many workflow, property tests, benchmark repetition); a
+    round over a different payload retires the old pool and starts a
+    fresh one, which on fork-capable platforms costs less than the
+    per-chunk payload pickling it replaces.  ``payload_ships`` counts
+    pool payload shipments for observability.  Call :meth:`close` (or
+    use the executor as a context manager) to release the workers.
+
+    Reuse is decided by *object identity* plus the graph's CSR snapshot
+    and label version (so structural and input-label graph edits
+    between rounds force a re-ship) and the requested vertex order (so
+    subset rounds are honored).  Do not mutate a shipped ``mapping`` in
+    place between rounds — build a new labeling instead, as the
+    adversary helpers do; in-place value edits are invisible to
+    identity checks and the resident workers would keep verifying the
+    old payload.
     """
 
     name = "parallel"
@@ -365,18 +429,61 @@ class ParallelExecutor(VerificationExecutor):
         self,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        dispatch_window: Optional[int] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if dispatch_window is not None and dispatch_window < 1:
+            raise ValueError("dispatch_window must be positive")
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.dispatch_window = dispatch_window
+        #: Payload shipments (= pool creations) over this executor's life.
+        self.payload_ships = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Strong refs to the shipped (config, scheme, mapping, location):
+        #: keeps identity comparisons valid for the pool's lifetime.
+        self._pool_payload: Optional[tuple] = None
 
-    def _pool_for(self, workers: int) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=workers)
+    def _pool_for(
+        self, config, scheme, mapping, location, order, workers: int
+    ) -> ProcessPoolExecutor:
+        if self._pool is not None:
+            held = self._pool_payload
+            if (
+                held is not None
+                and held[0] is config
+                and held[1] is scheme
+                and held[2] is mapping
+                and held[3] == location
+                # Structural graph mutation replaces the CSR snapshot,
+                # input-label mutation bumps the label version, and a
+                # different requested vertex list changes the order;
+                # each must retire the resident payload.
+                and held[4] is config.graph.csr
+                and held[5] == config.graph.labels_version
+                and held[6] == order
+            ):
+                return self._pool
+            self.close()  # different payload: retire the resident pool
+        blob = _ship_payload(config, scheme, mapping, location, order)
+        self.payload_ships += 1
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(blob,),
+        )
+        self._pool_payload = (
+            config,
+            scheme,
+            mapping,
+            location,
+            config.graph.csr,
+            config.graph.labels_version,
+            order,
+        )
         return self._pool
 
     def close(self) -> None:
@@ -384,6 +491,7 @@ class ParallelExecutor(VerificationExecutor):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self._pool_payload = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -401,27 +509,52 @@ class ParallelExecutor(VerificationExecutor):
         if not vertices:
             return []
         workers = self.max_workers or os.cpu_count() or 1
-        payload = _picklable_payload(config, scheme, mapping, location)
-        chunks = _chunked(
-            vertices, self._resolve_chunk_size(len(vertices), workers)
+        ranges = _ranges(
+            len(vertices), self._resolve_chunk_size(len(vertices), workers)
         )
-        outcomes = []
-        pool = self._pool_for(workers)
-        pending = {
-            pool.submit(_verify_chunk, payload, chunk, index, fail_fast)
-            for index, chunk in enumerate(chunks)
-        }
+        # The requested vertex list, as dense CSR indices: ships with
+        # the payload, so worker-side ranges mean exactly these
+        # vertices in exactly this order.
+        index = config.graph.csr.index
+        order = [index[v] for v in vertices]
+        pool = self._pool_for(config, scheme, mapping, location, order, workers)
+        window = self.dispatch_window or 2 * workers
+        outcomes: list = []
+        pending: dict = {}  # future -> chunk index
+        next_chunk = 0
+        halted = False
+
+        def fill_window():
+            nonlocal next_chunk
+            while (
+                not halted
+                and next_chunk < len(ranges)
+                and len(pending) < window
+            ):
+                start, stop = ranges[next_chunk]
+                future = pool.submit(
+                    _verify_range, start, stop, next_chunk, fail_fast
+                )
+                pending[future] = next_chunk
+                next_chunk += 1
+
+        fill_window()
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
             rejected = False
             for future in done:
+                pending.pop(future)
                 if future.cancelled():
                     continue
                 outcome = future.result()
                 outcomes.append(outcome)
                 rejected = rejected or outcome.rejected
             if fail_fast and rejected:
-                pending = {f for f in pending if not f.cancel()}
+                halted = True  # dispatch nothing further
+                for future in list(pending):
+                    if future.cancel():
+                        pending.pop(future)
+            fill_window()
         outcomes.sort(key=lambda o: o.index)
         return outcomes
 

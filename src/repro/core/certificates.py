@@ -38,6 +38,7 @@ measured ≤ accounted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional
 
 from repro.core.embedding import Embedding
@@ -80,9 +81,16 @@ class BasicInfo:
                 return x
         return None
 
-    @property
+    @cached_property
     def boundary_ids(self) -> tuple:
-        """Canonical boundary as identifiers (the paper's ξ order)."""
+        """Canonical boundary as identifiers (the paper's ξ order).
+
+        Cached: the verifier's hierarchy walk asks for this repeatedly
+        per record, and the fields it derives from are frozen.
+        (``cached_property`` writes to ``__dict__`` directly, so the
+        frozen-dataclass ``__setattr__`` guard is not in play; equality
+        and hashing still cover only the declared fields.)
+        """
         ids = []
         for lane in self.lanes:
             for x in (self.in_id(lane), self.out_id(lane)):

@@ -177,19 +177,19 @@ def _partition(graph: Graph, rep: IntervalRepresentation):
 
     def side_of(comp) -> int:
         for v in comp:
-            if graph.neighbors(v) & s1_set:
+            if not s1_set.isdisjoint(graph.neighbors_sorted(v)):
                 return 0
         for v in comp:
-            if graph.neighbors(v) & s2_set:
+            if not s2_set.isdisjoint(graph.neighbors_sorted(v)):
                 return 1
         raise AssertionError("component not adjacent to S — graph disconnected?")
 
     # Designated connection edge (u*_C, v*_C) from each component to its side.
     def connector(comp, side_set) -> tuple:
         for v in sorted(comp):
-            touching = sorted(graph.neighbors(v) & side_set)
-            if touching:
-                return (v, touching[0])
+            for u in graph.neighbors_sorted(v):  # sorted: first hit is min
+                if u in side_set:
+                    return (v, u)
         raise AssertionError("no connector edge found")
 
     # --- recurse and assemble ------------------------------------------

@@ -17,9 +17,22 @@ incident *real* edges.  From those it
 
 Everything here receives only a :class:`LocalView`; the simulator keeps
 the locality boundary honest.
+
+Performance note: the re-derivations of Lemmas 6.4/6.5 — leaf classes,
+``f_B`` bridge recompositions, ``f_P`` member folds — are *pure
+functions of label content*: every vertex holding edges of the same
+hierarchy node replays exactly the same algebra computation on exactly
+the same records.  They are therefore memoized per algebra, keyed by the
+full record content (success and ``_Reject`` outcomes alike), which
+keeps verdicts identical by construction — a vertex learns nothing it
+did not already hold in its own view, the locality boundary is
+untouched, and adversarial records that fail to hash simply bypass the
+cache.
 """
 
 from __future__ import annotations
+
+from weakref import WeakKeyDictionary
 
 from repro.core.certificates import (
     BasicInfo,
@@ -45,6 +58,55 @@ def _require(condition: bool, reason: str = "") -> None:
 
 
 # ----------------------------------------------------------------------
+# Content-keyed memoization of the pure record re-derivations
+# ----------------------------------------------------------------------
+#: algebra -> {content key -> (True, value) | (False, reject reason)}.
+#: Weakly keyed so dropping an algebra drops its cache; bounded so
+#: long audit campaigns over thousands of configurations cannot grow it
+#: without limit.
+_RECOMPUTE_CACHES: WeakKeyDictionary = WeakKeyDictionary()
+_CACHE_LIMIT = 1 << 16
+
+
+def _cached_recompute(algebra, key, compute):
+    """Memoize ``compute()`` under ``key`` in the algebra's cache.
+
+    Both successful values and ``_Reject`` outcomes are cached (the
+    functions are deterministic in their record inputs, rejections
+    included).  Unhashable inputs — adversarial labels can smuggle
+    arbitrary objects into record fields — and non-weakrefable algebras
+    fall back to direct computation; any exception other than
+    ``_Reject`` is never cached and propagates to the caller's
+    malformed-label handling.
+    """
+    try:
+        cache = _RECOMPUTE_CACHES.get(algebra)
+        if cache is None:
+            cache = {}
+            _RECOMPUTE_CACHES[algebra] = cache
+    except TypeError:
+        return compute()
+    try:
+        hit = cache.get(key)
+    except TypeError:
+        return compute()
+    if hit is not None:
+        ok, value = hit
+        if ok:
+            return value
+        raise _Reject(value)
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+    try:
+        value = compute()
+    except _Reject as exc:
+        cache[key] = (False, str(exc))
+        raise
+    cache[key] = (True, value)
+    return value
+
+
+# ----------------------------------------------------------------------
 # Recomputation of homomorphism classes from label data (IDs as names)
 # ----------------------------------------------------------------------
 def _canonical_ids(lanes, in_map: dict, out_map: dict) -> tuple:
@@ -56,8 +118,7 @@ def _canonical_ids(lanes, in_map: dict, out_map: dict) -> tuple:
     return tuple(ids)
 
 
-def recompute_leaf_state(algebra, record):
-    """Recompute an E- or P-leaf's class from its explicit topology."""
+def _leaf_state(algebra, record):
     if isinstance(record, ELevelRecord):
         state = algebra.new_vertices(2)
         return algebra.add_edge(state, 0, 1, record.tag)
@@ -69,8 +130,16 @@ def recompute_leaf_state(algebra, record):
     raise TypeError("not a leaf record")
 
 
-def recompute_bridge(algebra, left: BasicInfo, right: BasicInfo, i: int, j: int, tag):
-    """Re-apply f_B: join two children, add the bridge edge, reorder."""
+def recompute_leaf_state(algebra, record):
+    """Recompute an E- or P-leaf's class from its explicit topology."""
+    if not isinstance(record, (ELevelRecord, PLevelRecord)):
+        raise TypeError("not a leaf record")
+    return _cached_recompute(
+        algebra, ("leaf", record), lambda: _leaf_state(algebra, record)
+    )
+
+
+def _bridge(algebra, left: BasicInfo, right: BasicInfo, i: int, j: int, tag):
     b1, b2 = left.boundary_ids, right.boundary_ids
     _require(not set(b1) & set(b2), "bridge children share terminals")
     state = algebra.join(left.state, len(b1), right.state, len(b2), ())
@@ -87,11 +156,29 @@ def recompute_bridge(algebra, left: BasicInfo, right: BasicInfo, i: int, j: int,
     keep = tuple(boundary.index(x) for x in target)
     if keep != tuple(range(len(boundary))):
         state = algebra.forget(state, len(boundary), keep)
-    return state, target, in_map, out_map
+    return (
+        state,
+        target,
+        tuple(sorted(in_map.items())),
+        tuple(sorted(out_map.items())),
+    )
 
 
-def recompute_parent_fold(algebra, member: BasicInfo, child_subtrees: tuple):
-    """Re-apply the f_P fold: glue every child subtree onto the member."""
+def recompute_bridge(algebra, left: BasicInfo, right: BasicInfo, i: int, j: int, tag):
+    """Re-apply f_B: join two children, add the bridge edge, reorder.
+
+    Returns ``(state, boundary, in_ids, out_ids)`` with the terminal
+    maps as lane-sorted tuples — directly comparable to
+    ``BasicInfo.in_ids``/``out_ids``.
+    """
+    return _cached_recompute(
+        algebra,
+        ("bridge", left, right, i, j, tag),
+        lambda: _bridge(algebra, left, right, i, j, tag),
+    )
+
+
+def _parent_fold(algebra, member: BasicInfo, child_subtrees: tuple):
     state = member.state
     boundary = member.boundary_ids
     in_map = {l: member.in_id(l) for l in member.lanes}
@@ -120,7 +207,26 @@ def recompute_parent_fold(algebra, member: BasicInfo, child_subtrees: tuple):
         if keep != tuple(range(len(boundary))):
             state = algebra.forget(state, len(boundary), keep)
         boundary = target
-    return state, boundary, in_map, out_map
+    return (
+        state,
+        boundary,
+        tuple(sorted(in_map.items())),
+        tuple(sorted(out_map.items())),
+    )
+
+
+def recompute_parent_fold(algebra, member: BasicInfo, child_subtrees: tuple):
+    """Re-apply the f_P fold: glue every child subtree onto the member.
+
+    Returns ``(state, boundary, in_ids, out_ids)`` with the terminal
+    maps as lane-sorted tuples — directly comparable to
+    ``BasicInfo.in_ids``/``out_ids``.
+    """
+    return _cached_recompute(
+        algebra,
+        ("fold", member, child_subtrees),
+        lambda: _parent_fold(algebra, member, child_subtrees),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -204,17 +310,17 @@ def _check_level(view, algebra, ports, depth, t_in_context) -> None:
                 "inconsistent member records",
             )
             subtree_by_member[member_id] = base
-            # f_P fold recomputation.
-            state, _boundary, in_map, out_map = recompute_parent_fold(
+            # f_P fold recomputation (memoized: pure in the records).
+            state, _boundary, in_ids, out_ids = recompute_parent_fold(
                 algebra, base.member_info, base.child_subtrees
             )
             _require(state == base.member_subtree.state, "member fold class mismatch")
             _require(
-                tuple(sorted(in_map.items())) == base.member_subtree.in_ids,
+                in_ids == base.member_subtree.in_ids,
                 "member fold in-terminals mismatch",
             )
             _require(
-                tuple(sorted(out_map.items())) == base.member_subtree.out_ids,
+                out_ids == base.member_subtree.out_ids,
                 "member fold out-terminals mismatch",
             )
         # Out-terminal materialization (the paper's "each out-terminal of
@@ -296,13 +402,12 @@ def _check_level(view, algebra, ports, depth, t_in_context) -> None:
             "inconsistent B-node records",
         )
         i, j = first.bridge
-        state, _boundary, in_map, out_map = recompute_bridge(
+        state, _boundary, in_ids, out_ids = recompute_bridge(
             algebra, first.left, first.right, i, j, first.bridge_tag
         )
         _require(state == first.info.state, "bridge class mismatch")
         _require(
-            tuple(sorted(in_map.items())) == first.info.in_ids
-            and tuple(sorted(out_map.items())) == first.info.out_ids,
+            in_ids == first.info.in_ids and out_ids == first.info.out_ids,
             "bridge terminals mismatch",
         )
         for child in (first.left, first.right):

@@ -7,6 +7,7 @@ no third-party graph library is used by the algorithms themselves.
 """
 
 from repro.graphs.graph import Graph, edge_key
+from repro.graphs.csr import CSRAdjacency
 from repro.graphs.degeneracy import degeneracy_ordering, orient_by_degeneracy
 from repro.graphs.minors import (
     contains_minor,
@@ -17,6 +18,7 @@ from repro.graphs.minors import (
 __all__ = [
     "Graph",
     "edge_key",
+    "CSRAdjacency",
     "degeneracy_ordering",
     "orient_by_degeneracy",
     "contains_minor",

@@ -1,0 +1,125 @@
+"""Immutable CSR (compressed sparse row) adjacency snapshots.
+
+:class:`repro.graphs.Graph` keeps a mutable dict-of-sets adjacency for
+construction, but every read-heavy consumer — the verification round's
+view building, degeneracy orderings, decomposition heuristics, minor
+searches — wants the same three things over and over: neighbors in
+sorted order, stable edge indices, and cached degrees.  A
+:class:`CSRAdjacency` is a one-shot, immutable snapshot providing
+exactly that:
+
+* ``vertices``: the vertex names in sorted order; the *dense index* of a
+  vertex is its position here, so index order equals name order and a
+  sorted index row is a sorted name row for free;
+* ``indptr``/``neighbors``: the classic CSR pair — the neighbors of the
+  vertex with dense index ``i`` are ``neighbors[indptr[i]:indptr[i+1]]``
+  (dense indices, ascending);
+* ``incident``: parallel to ``neighbors``; ``incident[p]`` is the *edge
+  index* of the edge to ``neighbors[p]``.  Edge index ``e`` names
+  ``edges[e]``, the canonical edge keys in sorted order — stable for the
+  lifetime of the snapshot, which is what lets a verification round
+  resolve edge input labels and edge certificates by integer index
+  instead of ``edge_key`` dictionary lookups;
+* ``degrees``: ``degrees[i] == indptr[i+1] - indptr[i]``, precomputed.
+
+Snapshots are built by :meth:`Graph.csr` on first use and invalidated by
+structural mutation; label changes do not touch them (labels live on the
+graph).  Everything here is plain CPython lists/tuples — per-element
+indexed access is the workload, and the package stays dependency-free.
+"""
+
+from __future__ import annotations
+
+
+class CSRAdjacency:
+    """One immutable CSR snapshot of a graph's structure.
+
+    Do not mutate the arrays; :class:`~repro.graphs.Graph` hands the same
+    snapshot to every reader (and shares it with copies) precisely
+    because it cannot change.
+    """
+
+    __slots__ = (
+        "vertices",
+        "index",
+        "indptr",
+        "neighbors",
+        "incident",
+        "edges",
+        "degrees",
+        "_edge_index",
+        "_name_rows",
+    )
+
+    def __init__(self, adjacency: dict):
+        verts = sorted(adjacency)
+        index = {v: i for i, v in enumerate(verts)}
+        n = len(verts)
+        indptr = [0] * (n + 1)
+        neighbors: list = []
+        degrees = [0] * n
+        for i, v in enumerate(verts):
+            row = sorted(index[u] for u in adjacency[v])
+            neighbors.extend(row)
+            degrees[i] = len(row)
+            indptr[i + 1] = len(neighbors)
+        # Edge indexing: scanning rows in index order and keeping only
+        # j > i yields the canonical keys already sorted (index order is
+        # name order), so edge e here is edges()[e] of the legacy API.
+        edges = []
+        edge_index: dict = {}
+        for i in range(n):
+            for p in range(indptr[i], indptr[i + 1]):
+                j = neighbors[p]
+                if i < j:
+                    edge_index[(i, j)] = len(edges)
+                    edges.append((verts[i], verts[j]))
+        incident = [0] * len(neighbors)
+        for i in range(n):
+            for p in range(indptr[i], indptr[i + 1]):
+                j = neighbors[p]
+                incident[p] = edge_index[(i, j) if i < j else (j, i)]
+        self.vertices = tuple(verts)
+        self.index = index
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.incident = incident
+        self.edges = tuple(edges)
+        self.degrees = degrees
+        self._edge_index = edge_index
+        self._name_rows: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def row(self, i: int) -> list:
+        """Return the dense-index neighbor row of vertex index ``i``."""
+        return self.neighbors[self.indptr[i] : self.indptr[i + 1]]
+
+    def incident_row(self, i: int) -> list:
+        """Return the edge indices incident to vertex index ``i``."""
+        return self.incident[self.indptr[i] : self.indptr[i + 1]]
+
+    def name_row(self, vertex) -> tuple:
+        """Return the neighbors of ``vertex`` as names, sorted (cached)."""
+        i = self.index[vertex]
+        cached = self._name_rows.get(i)
+        if cached is None:
+            verts = self.vertices
+            cached = tuple(verts[j] for j in self.row(i))
+            self._name_rows[i] = cached
+        return cached
+
+    def edge_index_of(self, u, v) -> int:
+        """Return the stable edge index of ``{u, v}`` (KeyError if absent)."""
+        i, j = self.index[u], self.index[v]
+        return self._edge_index[(i, j) if i < j else (j, i)]
+
+    def __repr__(self) -> str:
+        return f"CSRAdjacency(n={self.n}, m={self.m})"

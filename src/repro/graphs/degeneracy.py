@@ -17,32 +17,39 @@ def degeneracy_ordering(graph: Graph) -> tuple:
 
     ``ordering`` lists the vertices in removal order; the degeneracy is the
     maximum, over removals, of the removed vertex's remaining degree.  Runs
-    in O(n + m) with a bucket queue.
+    in O(n + m) with a bucket queue over the CSR core — dense indices in,
+    names out, no per-vertex set copies.  (CSR index order is sorted name
+    order, so the min-index tie-break below matches the historical
+    min-name one.)
     """
-    remaining_degree = {v: graph.degree(v) for v in graph.vertices()}
-    max_deg = max(remaining_degree.values(), default=0)
+    csr = graph.csr
+    n = csr.n
+    remaining_degree = list(csr.degrees)
+    max_deg = max(remaining_degree, default=0)
     buckets: list = [set() for _ in range(max_deg + 1)]
-    for v, d in remaining_degree.items():
-        buckets[d].add(v)
-    removed: set = set()
+    for i, d in enumerate(remaining_degree):
+        buckets[d].add(i)
+    removed = [False] * n
     ordering = []
     degeneracy = 0
     cursor = 0
-    for _ in range(graph.n):
+    indptr, neighbors = csr.indptr, csr.neighbors
+    for _ in range(n):
         while cursor <= max_deg and not buckets[cursor]:
             cursor += 1
-        v = min(buckets[cursor])  # deterministic tie-break
-        buckets[cursor].discard(v)
-        degeneracy = max(degeneracy, remaining_degree[v])
-        ordering.append(v)
-        removed.add(v)
-        for u in graph.neighbors(v):
-            if u in removed:
+        i = min(buckets[cursor])  # deterministic tie-break
+        buckets[cursor].discard(i)
+        degeneracy = max(degeneracy, remaining_degree[i])
+        ordering.append(csr.vertices[i])
+        removed[i] = True
+        for p in range(indptr[i], indptr[i + 1]):
+            j = neighbors[p]
+            if removed[j]:
                 continue
-            d = remaining_degree[u]
-            buckets[d].discard(u)
-            remaining_degree[u] = d - 1
-            buckets[d - 1].add(u)
+            d = remaining_degree[j]
+            buckets[d].discard(j)
+            remaining_degree[j] = d - 1
+            buckets[d - 1].add(j)
             if d - 1 < cursor:
                 cursor = d - 1
     return ordering, degeneracy

@@ -9,6 +9,13 @@ representation, and optional finite input labels on vertices and edges.
 
 Edges are identified by :func:`edge_key`, the sorted vertex pair, so that
 ``{u, v}`` and ``{v, u}`` name the same edge.
+
+Reads are served by an immutable CSR snapshot
+(:class:`repro.graphs.csr.CSRAdjacency`) built lazily on first use and
+invalidated by structural mutation: sorted vertex/edge lists, sorted
+neighbor rows, degrees, and stable edge indices all come from the same
+contiguous arrays instead of being re-derived per call.  The dict-of-sets
+adjacency remains the construction-time representation.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
+
+from repro.graphs.csr import CSRAdjacency
 
 Vertex = Hashable
 Edge = tuple
@@ -54,7 +63,14 @@ class Graph:
     auditable down to the data structure.
     """
 
-    __slots__ = ("_adj", "_vertex_labels", "_edge_labels")
+    __slots__ = (
+        "_adj",
+        "_vertex_labels",
+        "_edge_labels",
+        "_m",
+        "_csr",
+        "_labels_version",
+    )
 
     def __init__(
         self,
@@ -64,6 +80,9 @@ class Graph:
         self._adj: dict = {}
         self._vertex_labels: dict = {}
         self._edge_labels: dict = {}
+        self._m: int = 0
+        self._csr: Optional[CSRAdjacency] = None
+        self._labels_version: int = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -72,25 +91,43 @@ class Graph:
                 self.add_edge(u, v)
 
     # ------------------------------------------------------------------
+    # The CSR read core
+    # ------------------------------------------------------------------
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The immutable CSR snapshot of the current structure.
+
+        Built on first access after any structural mutation, then shared
+        by every reader (and by :meth:`copy`, which starts from the same
+        snapshot).  Input labels are not part of the snapshot.
+        """
+        if self._csr is None:
+            self._csr = CSRAdjacency(self._adj)
+        return self._csr
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_vertex(self, v: Vertex) -> None:
         """Add vertex ``v``; adding an existing vertex is a no-op."""
         if v not in self._adj:
             self._adj[v] = set()
+            self._csr = None
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add edge ``{u, v}``, creating endpoints as needed.
 
         Re-adding an existing edge is a no-op (the graph is simple).
         """
-        key = edge_key(u, v)
+        edge_key(u, v)  # validates against self-loops
         self.add_vertex(u)
         self.add_vertex(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._m += 1
+            self._csr = None
         # No entry is created in _edge_labels until a label is assigned.
-        del key
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -98,14 +135,19 @@ class Graph:
             raise KeyError(f"edge {u!r}-{v!r} not in graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
-        self._edge_labels.pop(edge_key(u, v), None)
+        self._m -= 1
+        self._csr = None
+        if self._edge_labels.pop(edge_key(u, v), None) is not None:
+            self._labels_version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges; raises ``KeyError`` if absent."""
         for u in list(self._adj[v]):
             self.remove_edge(u, v)
         del self._adj[v]
-        self._vertex_labels.pop(v, None)
+        self._csr = None
+        if self._vertex_labels.pop(v, None) is not None:
+            self._labels_version += 1
 
     # ------------------------------------------------------------------
     # Input labels (finite-alphabet state, Section 1.1)
@@ -115,6 +157,7 @@ class Graph:
         if v not in self._adj:
             raise KeyError(f"vertex {v!r} not in graph")
         self._vertex_labels[v] = label
+        self._labels_version += 1
 
     def vertex_label(self, v: Vertex, default: Hashable = None) -> Hashable:
         """Return the input label of ``v`` (``default`` if unset)."""
@@ -125,6 +168,19 @@ class Graph:
         if not self.has_edge(u, v):
             raise KeyError(f"edge {u!r}-{v!r} not in graph")
         self._edge_labels[edge_key(u, v)] = label
+        self._labels_version += 1
+
+    @property
+    def labels_version(self) -> int:
+        """Monotone counter bumped by every input-label mutation.
+
+        Structural mutation is observable through the :meth:`csr`
+        snapshot identity; label mutation deliberately is not (labels
+        are not part of the snapshot), so consumers that capture label
+        state — the pool-resident parallel executor ships it to workers
+        once per pool — key their caches on this counter instead.
+        """
+        return self._labels_version
 
     def edge_label(self, u: Vertex, v: Vertex, default: Hashable = None) -> Hashable:
         """Return the input label of edge ``{u, v}`` (``default`` if unset)."""
@@ -148,8 +204,8 @@ class Graph:
 
     @property
     def m(self) -> int:
-        """Number of edges."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        """Number of edges (maintained incrementally, O(1))."""
+        return self._m
 
     def __contains__(self, v: Vertex) -> bool:
         return v in self._adj
@@ -161,17 +217,16 @@ class Graph:
         return iter(self._adj)
 
     def vertices(self) -> list:
-        """Return the vertices in sorted order."""
-        return sorted(self._adj)
+        """Return the vertices in sorted order (CSR-cached)."""
+        return list(self.csr.vertices)
 
     def edges(self) -> list:
-        """Return the canonical edge keys in sorted order."""
-        seen = []
-        for u, nbrs in self._adj.items():
-            for v in nbrs:
-                if u <= v:  # type: ignore[operator]
-                    seen.append((u, v))
-        return sorted(seen)
+        """Return the canonical edge keys in sorted order (CSR-cached).
+
+        ``edges()[e]`` is the edge with stable index ``e`` — see
+        :meth:`edge_index`.
+        """
+        return list(self.csr.edges)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return whether ``{u, v}`` is an edge."""
@@ -180,6 +235,15 @@ class Graph:
     def neighbors(self, v: Vertex) -> set:
         """Return the (copied) neighbor set of ``v``."""
         return set(self._adj[v])
+
+    def neighbors_sorted(self, v: Vertex) -> tuple:
+        """Return the neighbors of ``v`` in sorted order, without copying.
+
+        The tuple is a cached row of the CSR snapshot — the right accessor
+        for read-heavy algorithms (decompositions, minor searches, view
+        building) that used to pay a set copy plus a sort per visit.
+        """
+        return self.csr.name_row(v)
 
     def degree(self, v: Vertex) -> int:
         """Return the degree of ``v``."""
@@ -192,20 +256,37 @@ class Graph:
         return max(len(nbrs) for nbrs in self._adj.values())
 
     def incident_edges(self, v: Vertex) -> list:
-        """Return the canonical keys of the edges incident to ``v``."""
-        return sorted(edge_key(v, u) for u in self._adj[v])
+        """Return the canonical keys of the edges incident to ``v``.
+
+        CSR row order yields the keys already sorted: for neighbors
+        ``u < v`` the key is ``(u, v)`` with ``u`` ascending, then for
+        ``u > v`` it is ``(v, u)`` with ``u`` ascending.
+        """
+        csr = self.csr
+        edges = csr.edges
+        return [edges[e] for e in csr.incident_row(csr.index[v])]
+
+    def edge_index(self, u: Vertex, v: Vertex) -> int:
+        """Return the stable index of edge ``{u, v}`` into :meth:`edges`.
+
+        Stable until the next structural mutation; raises ``KeyError``
+        for absent edges.
+        """
+        return self.csr.edge_index_of(u, v)
 
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
     def bfs_order(self, source: Vertex) -> list:
         """Return the vertices reachable from ``source`` in BFS order."""
+        if source not in self._adj:
+            raise KeyError(f"vertex {source!r} not in graph")
         seen = {source}
         order = [source]
         queue = deque([source])
         while queue:
             u = queue.popleft()
-            for w in sorted(self._adj[u]):
+            for w in self.neighbors_sorted(u):
                 if w not in seen:
                     seen.add(w)
                     order.append(w)
@@ -228,7 +309,7 @@ class Graph:
         queue = deque([source])
         while queue:
             u = queue.popleft()
-            for w in sorted(self._adj[u]):
+            for w in self.neighbors_sorted(u):
                 if w not in parent:
                     parent[w] = u
                     if w == target:
@@ -276,7 +357,7 @@ class Graph:
         queue = deque([root])
         while queue:
             u = queue.popleft()
-            for w in sorted(self._adj[u]):
+            for w in self.neighbors_sorted(u):
                 if w not in seen:
                     seen.add(w)
                     tree.add_edge(u, w)
@@ -340,14 +421,19 @@ class Graph:
     # Derivation
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """Return a deep copy (labels included)."""
+        """Return a deep copy (labels included).
+
+        The adjacency sets are copied; the immutable CSR snapshot (if
+        built) is shared — a later mutation of either graph only drops
+        that graph's reference.
+        """
         g = Graph()
-        for v in self._adj:
-            g.add_vertex(v)
-        for u, v in self.edges():
-            g.add_edge(u, v)
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._m = self._m
+        g._csr = self._csr
         g._vertex_labels = dict(self._vertex_labels)
         g._edge_labels = dict(self._edge_labels)
+        g._labels_version = self._labels_version
         return g
 
     def induced_subgraph(self, vertex_subset: Iterable[Vertex]) -> "Graph":

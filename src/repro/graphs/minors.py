@@ -27,7 +27,9 @@ from repro.graphs.graph import Graph
 def _branch_sets_touch(graph: Graph, a: frozenset, b: frozenset) -> bool:
     """Return whether any G-edge joins branch sets ``a`` and ``b``."""
     smaller, larger = (a, b) if len(a) <= len(b) else (b, a)
-    return any(not graph.neighbors(v).isdisjoint(larger) for v in smaller)
+    return any(
+        not larger.isdisjoint(graph.neighbors_sorted(v)) for v in smaller
+    )
 
 
 def _connected_subsets_rooted(
@@ -52,14 +54,16 @@ def _connected_subsets_rooted(
                 continue
             new_neighbors = {
                 w
-                for w in graph.neighbors(v)
+                for w in graph.neighbors_sorted(v)
                 if w in extendable and w not in subset and w not in banned
             }
             new_extension = (extension - frozenset(banned) - {v}) | new_neighbors
             yield from expand(subset | {v}, frozenset(new_extension), frozenset(banned))
             banned.add(v)
 
-    initial = frozenset(w for w in graph.neighbors(seed) if w in extendable)
+    initial = frozenset(
+        w for w in graph.neighbors_sorted(seed) if w in extendable
+    )
     yield from expand(frozenset([seed]), initial, frozenset())
 
 
@@ -128,7 +132,7 @@ def _has_star_minor(graph: Graph, leaves: int) -> bool:
             for subset in _connected_subsets_rooted(sub, seed, available, sub.n):
                 neighborhood = set()
                 for v in subset:
-                    neighborhood.update(sub.neighbors(v))
+                    neighborhood.update(sub.neighbors_sorted(v))
                 neighborhood -= subset
                 if len(neighborhood) >= leaves:
                     return True
@@ -152,11 +156,11 @@ def _spider_leg_lengths(pattern: Graph) -> Optional[list]:
         return None
     center = next(v for v in pattern.vertices() if pattern.degree(v) == 3)
     lengths = []
-    for first in sorted(pattern.neighbors(center)):
+    for first in pattern.neighbors_sorted(center):
         length = 1
         prev, cur = center, first
         while pattern.degree(cur) == 2:
-            nxt = next(u for u in pattern.neighbors(cur) if u != prev)
+            nxt = next(u for u in pattern.neighbors_sorted(cur) if u != prev)
             prev, cur = cur, nxt
             length += 1
         lengths.append(length)
@@ -181,7 +185,7 @@ def _has_spider_minor(graph: Graph, lengths: list) -> bool:
         def grow(v, togo: int, visited: set) -> bool:
             if togo <= 0:
                 return paths_from(center, remaining[1:], used | visited)
-            for w in sorted(graph.neighbors(v)):
+            for w in graph.neighbors_sorted(v):
                 if w == center or w in used or w in visited:
                     continue
                 if grow(w, togo - 1, visited | {w}):
@@ -240,7 +244,7 @@ def _has_path_of_order(graph: Graph, t: int) -> bool:
     def extend(path: list, visited: set) -> bool:
         if len(path) == t:
             return True
-        for w in sorted(graph.neighbors(path[-1])):
+        for w in graph.neighbors_sorted(path[-1]):
             if w not in visited:
                 visited.add(w)
                 path.append(w)

@@ -62,7 +62,7 @@ def optimal_vertex_ordering(graph: Graph) -> list:
     index_of = {v: i for i, v in enumerate(vertices)}
     nbr_masks = [0] * n
     for v in vertices:
-        for u in graph.neighbors(v):
+        for u in graph.neighbors_sorted(v):
             nbr_masks[index_of[v]] |= 1 << index_of[u]
 
     full = (1 << n) - 1
@@ -110,7 +110,7 @@ def _vertex_separation_of(graph: Graph, ordering: list) -> int:
         boundary = sum(
             1
             for v in ordering[: i + 1]
-            if any(position[u] > i for u in graph.neighbors(v))
+            if any(position[u] > i for u in graph.neighbors_sorted(v))
         )
         worst = max(worst, boundary)
     return worst

@@ -32,7 +32,7 @@ def _boundary_after(graph: Graph, placed: set, candidate) -> int:
     return sum(
         1
         for v in new_placed
-        if any(u not in new_placed for u in graph.neighbors(v))
+        if any(u not in new_placed for u in graph.neighbors_sorted(v))
     )
 
 
@@ -67,7 +67,7 @@ def greedy_boundary_ordering(
         for worst, ordering, placed in beams:
             frontier = set()
             for v in placed:
-                frontier.update(graph.neighbors(v))
+                frontier.update(graph.neighbors_sorted(v))
             frontier -= placed
             if not frontier:  # disconnected remainder: pick globally
                 frontier = set(vertices) - placed

@@ -157,7 +157,7 @@ class IntervalRepresentation:
         for v in ordering:
             i = position[v]
             reach = i
-            for u in graph.neighbors(v):
+            for u in graph.neighbors_sorted(v):
                 if position[u] > reach:
                     reach = position[u]
             intervals[v] = (i, reach)

@@ -17,7 +17,13 @@ This package implements Section 1.1's model faithfully:
   harness and the KKP cut-and-splice Omega(log n) adversary.
 """
 
-from repro.pls.model import Configuration, EdgePort, LocalView
+from repro.pls.model import (
+    Configuration,
+    EdgePort,
+    LocalView,
+    ViewFactory,
+    view_factory_for,
+)
 from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
 from repro.pls.simulator import run_verification
 from repro.pls.bits import uint_bits, id_bits_for
@@ -29,6 +35,8 @@ __all__ = [
     "Configuration",
     "EdgePort",
     "LocalView",
+    "ViewFactory",
+    "view_factory_for",
     "Labeling",
     "ProofLabelingScheme",
     "VerificationResult",

@@ -88,12 +88,17 @@ class LocalView:
 def build_vertex_view(
     config: Configuration, vertex, labeling: dict
 ) -> LocalView:
-    """Local view for a vertex-labeled scheme.
+    """Local view for a vertex-labeled scheme (one-off reference path).
 
     ``ports`` pairs each incident edge's input label with the certificate
     of the neighbor behind it (port-numbered reception); the plain
     neighbor-certificate multiset is also provided for schemes that do not
     need the correlation.
+
+    This is the dict-built reference construction; a verification round
+    building every view should use a :class:`ViewFactory`, which produces
+    identical :class:`LocalView` objects from the graph's CSR core
+    (property-tested equality).
     """
     graph = config.graph
     neighbors = sorted(graph.neighbors(vertex))
@@ -116,7 +121,7 @@ def build_vertex_view(
 
 
 def build_edge_view(config: Configuration, vertex, labeling: dict) -> LocalView:
-    """Local view for an edge-labeled scheme."""
+    """Local view for an edge-labeled scheme (one-off reference path)."""
     graph = config.graph
     ports = []
     for u in sorted(graph.neighbors(vertex)):
@@ -134,3 +139,139 @@ def build_edge_view(config: Configuration, vertex, labeling: dict) -> LocalView:
         n_hint=graph.n,
         ports=tuple(ports),
     )
+
+
+class ViewFactory:
+    """Builds every :class:`LocalView` of one round from the CSR core.
+
+    The per-vertex builders above re-derive the same facts for every
+    vertex: copy + sort the neighbor set, recompute ``edge_key`` and
+    chase two dictionaries per incident edge.  A factory does that work
+    *once per round* — identifiers, vertex input labels, and certificates
+    resolved into arrays parallel to the graph's CSR vertex order, edge
+    input labels and edge certificates resolved by stable edge index —
+    and then each view is a pair of array slices with zero per-vertex
+    dictionary traffic.
+
+    The factory deliberately still emits the same :class:`LocalView`
+    type: the verifier's locality boundary (one vertex sees its ports and
+    nothing else) is enforced by what the view *contains*, not by how it
+    was assembled, and the tier-1 property tests pin factory views equal
+    to the reference builders'.
+
+    Parameters
+    ----------
+    config:
+        The configuration whose round is being run.
+    mapping:
+        ``labeling.mapping`` — vertex keys for ``location="vertices"``,
+        canonical edge keys for ``location="edges"``.
+    location:
+        ``"vertices"`` or ``"edges"``.
+    """
+
+    __slots__ = (
+        "config",
+        "location",
+        "_csr",
+        "_n",
+        "_identifiers",
+        "_vertex_inputs",
+        "_edge_inputs",
+        "_vertex_certs",
+        "_edge_certs",
+    )
+
+    def __init__(self, config: Configuration, mapping: dict, location: str):
+        if location not in ("vertices", "edges"):
+            raise ValueError("location must be 'vertices' or 'edges'")
+        graph = config.graph
+        csr = graph.csr
+        ids = config.ids
+        self.config = config
+        self.location = location
+        self._csr = csr
+        self._n = csr.n
+        self._identifiers = [ids[v] for v in csr.vertices]
+        vertex_labels = graph.vertex_labels()  # one copy per round
+        self._vertex_inputs = [vertex_labels.get(v) for v in csr.vertices]
+        edge_labels = graph.edge_labels()
+        self._edge_inputs = [edge_labels.get(e) for e in csr.edges]
+        if location == "vertices":
+            self._vertex_certs = [mapping.get(v) for v in csr.vertices]
+            self._edge_certs = None
+        else:
+            self._vertex_certs = None
+            self._edge_certs = [mapping.get(e) for e in csr.edges]
+
+    @property
+    def vertices(self) -> tuple:
+        """The vertex names in CSR (sorted) order; dense index = position."""
+        return self._csr.vertices
+
+    def index_of(self, vertex) -> int:
+        """Return the dense index of ``vertex`` (KeyError if absent)."""
+        return self._csr.index[vertex]
+
+    def view_at(self, index: int) -> LocalView:
+        """Build the :class:`LocalView` of the vertex with dense ``index``."""
+        csr = self._csr
+        start, stop = csr.indptr[index], csr.indptr[index + 1]
+        neighbors = csr.neighbors
+        incident = csr.incident
+        edge_inputs = self._edge_inputs
+        if self.location == "vertices":
+            certs = self._vertex_certs
+            ports = tuple(
+                EdgePort(
+                    input_label=edge_inputs[incident[p]],
+                    certificate=certs[neighbors[p]],
+                )
+                for p in range(start, stop)
+            )
+            return LocalView(
+                identifier=self._identifiers[index],
+                vertex_input_label=self._vertex_inputs[index],
+                degree=stop - start,
+                n_hint=self._n,
+                own_certificate=certs[index],
+                neighbor_certificates=tuple(
+                    certs[neighbors[p]] for p in range(start, stop)
+                ),
+                ports=ports,
+            )
+        certs = self._edge_certs
+        ports = tuple(
+            EdgePort(
+                input_label=edge_inputs[incident[p]],
+                certificate=certs[incident[p]],
+            )
+            for p in range(start, stop)
+        )
+        return LocalView(
+            identifier=self._identifiers[index],
+            vertex_input_label=self._vertex_inputs[index],
+            degree=stop - start,
+            n_hint=self._n,
+            ports=ports,
+        )
+
+    def view(self, vertex) -> LocalView:
+        """Build the :class:`LocalView` of ``vertex`` (by name)."""
+        return self.view_at(self._csr.index[vertex])
+
+
+def view_factory_for(
+    config: Configuration, labeling, location: Optional[str] = None
+) -> ViewFactory:
+    """Return a :class:`ViewFactory` for one round.
+
+    ``labeling`` may be a :class:`~repro.pls.scheme.Labeling` (its
+    location wins unless overridden) or a plain mapping (``location``
+    required).
+    """
+    mapping = getattr(labeling, "mapping", labeling)
+    where = location or getattr(labeling, "location", None)
+    if where is None:
+        raise ValueError("location required for plain mappings")
+    return ViewFactory(config, mapping, where)

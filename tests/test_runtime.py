@@ -219,6 +219,108 @@ class TestVerificationEngine:
         assert engine.verify(config, scheme, labeling).accepted
         executor.close()
 
+    def test_payload_pickled_exactly_once_per_pool(self, monkeypatch):
+        """The pool-resident design's core promise: one ``pickle.dumps``
+        of the (config, verifier, labeling) payload per pool lifetime,
+        however many rounds run on it — and zero re-ships per chunk."""
+        import pickle as real_pickle
+        import types
+
+        from repro.api import runtime as runtime_mod
+
+        dumps_calls = []
+
+        def counting_dumps(obj, *args, **kwargs):
+            dumps_calls.append(obj)
+            return real_pickle.dumps(obj, *args, **kwargs)
+
+        # Patch only the runtime module's view of pickle: the pool's own
+        # machinery (ForkingPickler) is deliberately out of scope.
+        monkeypatch.setattr(
+            runtime_mod,
+            "pickle",
+            types.SimpleNamespace(
+                dumps=counting_dumps, loads=real_pickle.loads
+            ),
+        )
+        config, scheme, labeling = _honest_case(26, extra=12)
+        with ParallelExecutor(max_workers=2, chunk_size=2) as executor:
+            engine = VerificationEngine(executor)
+            for _ in range(3):  # many rounds, same payload, one pool
+                assert engine.verify(config, scheme, labeling).accepted
+            assert len(dumps_calls) == 1
+            assert executor.payload_ships == 1
+            # A different payload retires the pool and ships once more.
+            other_config, other_scheme, other_labeling = _honest_case(27)
+            assert engine.verify(
+                other_config, other_scheme, other_labeling
+            ).accepted
+            assert len(dumps_calls) == 2
+            assert executor.payload_ships == 2
+
+    def test_pool_reships_after_structural_graph_mutation(self):
+        """A pool is bound to one payload *snapshot*: editing the graph
+        between rounds (same objects throughout) must retire the
+        resident workers, keeping parallel verdicts equal to serial."""
+        config, scheme, labeling = _honest_case(29)
+        graph = config.graph
+        with ParallelExecutor(max_workers=2, chunk_size=4) as executor:
+            engine = VerificationEngine(executor)
+            assert engine.verify(config, scheme, labeling).accepted
+            ships = executor.payload_ships
+            non_edge = next(
+                (u, v)
+                for u in graph.vertices()
+                for v in graph.vertices()
+                if u < v and not graph.has_edge(u, v)
+            )
+            graph.add_edge(*non_edge)  # in place: identity unchanged
+            parallel_report = engine.verify(config, scheme, labeling)
+            assert executor.payload_ships == ships + 1  # stale pool retired
+            serial_report = VerificationEngine(SerialExecutor()).verify(
+                config, scheme, labeling
+            )
+            # The unlabeled new edge makes vertices reject — on both
+            # schedules identically.
+            assert parallel_report.verdicts == serial_report.verdicts
+            assert parallel_report.accepted == serial_report.accepted
+            # Input-label edits are invisible to the CSR snapshot but
+            # bump the label version — also a re-ship.
+            graph.set_edge_label(*non_edge, "mutated")
+            engine.verify(config, scheme, labeling)
+            assert executor.payload_ships == ships + 2
+
+    def test_fail_fast_does_not_dispatch_remaining_chunks(self):
+        """Regression for submit-everything-then-cancel: after the first
+        rejection surfaces, no further chunk may be dispatched, so the
+        number of executed chunks is bounded by the dispatch window —
+        not by the chunk count."""
+        config, scheme, labeling = _honest_case(28, extra=30)
+        vertices = sorted(config.graph.vertices(), key=repr)
+        first = vertices[0]
+        # Corrupt an edge incident to the canonically-first vertex so the
+        # very first chunk rejects.
+        bad_mapping = dict(labeling.mapping)
+        key = next(k for k in sorted(bad_mapping, key=repr) if first in k)
+        bad_mapping[key] = "garbage"
+        bad = Labeling("edges", bad_mapping, labeling.size_context)
+        window = 2
+        with ParallelExecutor(
+            max_workers=1, chunk_size=1, dispatch_window=window
+        ) as executor:
+            report = VerificationEngine(executor, fail_fast=True).verify(
+                config, scheme, bad
+            )
+        total_chunks = len(vertices)
+        assert total_chunks > window + 1
+        assert not report.accepted
+        assert report.short_circuited
+        # Executed chunks never exceed the window; in particular the
+        # remaining chunks were not dispatched after the rejection.
+        assert len(report.chunks) <= window
+        assert report.views_built <= window
+        assert len(report.chunks) < total_chunks
+
 
 class TestReportSerialization:
     def test_stage_timing_round_trip(self):
