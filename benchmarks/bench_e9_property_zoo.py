@@ -10,18 +10,38 @@ The second test runs the zoo end-to-end through ``repro.api``: one
 :class:`CertificationSession` batch-proves every property against each
 random host, so the structural stages run once per host — the
 certification verdicts must agree with the direct checkers.
+
+The third test is the plan-cache trajectory series: batch-certify the
+whole zoo against one host **cold** (empty artifact cache) and **warm**
+(a fresh session over the persisted cache), per host size.  The warm
+pass must run zero structural stages, and the series — cold seconds,
+warm seconds, speedup — is persisted for trajectory tracking: one
+machine-readable ``BENCH_JSON`` line on stdout *and* a ``BENCH_E9.json``
+file (path override: ``E9_OUT``), which CI uploads as an artifact.  The
+first committed baseline lives at ``benchmarks/BENCH_E9.json``.
+Environment knobs: ``E9_SIZES`` (comma-separated host sizes; CI's smoke
+step uses a tiny workload) and ``E9_OUT``.
 """
 
 import itertools
+import json
+import os
 import random
+import tempfile
+import time
 
-from repro.api import CertificationSession
+from repro.api import CertificateStore, CertificationSession
 from repro.core import apply_construction, random_lanewidth_sequence
 from repro.courcelle import algebra_for, random_op_sequence
-from repro.experiments import Table
+from repro.experiments import Table, lanewidth_workload
 from repro.graphs.generators import enumerate_graphs
 from repro.mso import check_formula
 from repro.mso.properties import PROPERTY_ZOO
+
+E9_SIZES = tuple(
+    int(size) for size in os.environ.get("E9_SIZES", "32,64,128").split(",")
+)
+E9_OUT = os.environ.get("E9_OUT", "BENCH_E9.json")
 
 ZOO_WITH_ALGEBRAS = [
     ("connected", "connected"),
@@ -144,3 +164,88 @@ def test_e9_batch_certification(benchmark):
     table.show()
 
     benchmark(_batch_certified_agreement, 2)
+
+
+# ----------------------------------------------------------------------
+# E9c: cold-cache vs warm-cache batch certification (the plan series).
+# ----------------------------------------------------------------------
+ZOO_KEYS = [key for _name, key in BATCH_ZOO]
+STRUCTURAL_NODES = ("decompose", "lanes", "completion", "match", "hierarchy")
+
+
+def _certify_zoo(n: int, store: CertificateStore, seed: int):
+    """One full-zoo batch through a fresh session over ``store``.
+
+    Returns ``(seconds, session, reports)``.  The identifier rng is
+    seeded per (n, seed) so cold and warm passes draw the same
+    configuration — the realistic re-serve shape, and what lets the
+    warm pass resolve the id-keyed label artifacts too.
+    """
+    sequence, _graph = lanewidth_workload(2, n, seed)
+    session = CertificationSession(rng=random.Random(0xE9C + n), store=store)
+    began = time.perf_counter()
+    reports = session.certify(sequence, ZOO_KEYS, verify=False)
+    return time.perf_counter() - began, session, reports
+
+
+def test_e9_artifact_cache_speedup(benchmark):
+    table = Table(
+        "E9c: zoo batch certification, cold vs warm artifact cache (seconds)",
+        ["n", "cold_s", "warm_s", "speedup", "warm structural runs"],
+    )
+    payload = {
+        "bench": "e9_property_zoo_cache",
+        "properties": ZOO_KEYS,
+        "series": [],
+    }
+    for n in E9_SIZES:
+        with tempfile.TemporaryDirectory() as root:
+            store = CertificateStore(root)
+            cold_s, cold_session, cold_reports = _certify_zoo(n, store, seed=n)
+            warm_s, warm_session, warm_reports = _certify_zoo(n, store, seed=n)
+            structural_runs = sum(
+                warm_session.stage_counters.get(name, 0)
+                for name in STRUCTURAL_NODES
+            )
+            # The acceptance contract: a warm cache runs zero structural
+            # nodes, and the reports are indistinguishable from cold.
+            assert structural_runs == 0, warm_session.stage_counters
+            for key in ZOO_KEYS:
+                assert warm_reports[key].refused == cold_reports[key].refused
+                if not cold_reports[key].refused:
+                    assert warm_reports[key].structure_cached
+                    assert (
+                        warm_reports[key].total_label_bits
+                        == cold_reports[key].total_label_bits
+                    )
+            speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+            point = {
+                "n": n,
+                "cold_s": round(cold_s, 6),
+                "warm_s": round(warm_s, 6),
+                "speedup": round(speedup, 2),
+                "warm_structural_runs": structural_runs,
+            }
+            payload["series"].append(point)
+            table.add(
+                n, f"{cold_s:.3f}", f"{warm_s:.3f}", f"{speedup:.1f}x",
+                structural_runs,
+            )
+    table.show()
+    # The headline claim, on the largest host of the series: warm must
+    # beat cold (the committed baseline records the actual multiple).
+    largest = payload["series"][-1]
+    assert largest["warm_s"] < largest["cold_s"], largest
+
+    with open(E9_OUT, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
+
+    def _cold_round(n: int) -> float:
+        # A fresh store per round keeps every timed iteration cold —
+        # reusing one store would mix one cold round into warm ones.
+        with tempfile.TemporaryDirectory() as root:
+            return _certify_zoo(n, CertificateStore(root), 7)[0]
+
+    benchmark(_cold_round, min(E9_SIZES))

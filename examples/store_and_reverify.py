@@ -8,9 +8,10 @@ certificates (see ``docs/FORMAT.md``), and any later process can
 ``store.load(...)`` + verify without re-running a single prover stage.
 
 This example certifies two properties on one network, stores them,
-re-verifies in-process (showing the empty stage counters), and then
-re-verifies from a *separate interpreter* to prove the stored bytes are
-self-sufficient.
+re-verifies in-process (showing the empty stage counters), re-*certifies*
+against the store's artifact cache (showing zero structural prover
+stages), and then re-verifies from a *separate interpreter* to prove
+the stored bytes are self-sufficient.
 
 Run:  python examples/store_and_reverify.py
 """
@@ -35,6 +36,14 @@ def main() -> None:
     print(f"network: n={graph.n}, m={graph.m}, "
           f"fingerprint {fingerprint[:16]}...")
 
+    # A named cache_key makes the witness decomposer's artifacts
+    # persistable: the plan layer keys the decompose node on it instead
+    # of the closure's identity (see repro.api.plan).
+    def witness(_graph):
+        return decomposition
+
+    witness.cache_key = f"witness-{fingerprint[:12]}"
+
     with tempfile.TemporaryDirectory() as root:
         store = CertificateStore(root)
 
@@ -44,7 +53,7 @@ def main() -> None:
             ["connected", "even-order"],
             k=2,
             rng=rng,
-            decomposer=lambda _g: decomposition,
+            decomposer=witness,
             store=store,
         )
         for key, report in reports.items():
@@ -60,6 +69,21 @@ def main() -> None:
         print(f"re-verify from store: {verification.summary()}")
         print(f"prover stages run on the stored path: "
               f"{session.stage_counters or 'none'}")
+
+        # -- re-CERTIFY against the same store: the artifact cache
+        #    (persisted next to the certificates) resolves every
+        #    structural stage, so only per-identifier label work runs --
+        warm = CertificationSession(
+            k=2, rng=random.Random(7), decomposer=witness, store=store
+        )
+        warm_report = warm.certify(graph, "connected")
+        structural = [
+            name for name in ("decompose", "lanes", "completion", "hierarchy")
+            if name in warm.stage_counters
+        ]
+        print(f"warm re-certify: {warm_report.summary()}")
+        print(f"  structural stages rerun: {structural or 'none'} "
+              f"(structure_cached={warm_report.structure_cached})")
 
         # -- the same thing from a fresh interpreter: the stored bytes
         #    are the whole truth, no Python state carries over --

@@ -9,6 +9,14 @@ property-level *evaluation* stages; this package exposes that split:
   graph fingerprint and proves property batches against one hierarchy;
 * :class:`CertificationPipeline` + the stage classes — explicit,
   swappable steps with per-stage timings for experiments;
+* :class:`CertificationPlan` / :class:`PlanRunner` (:mod:`repro.api.plan`)
+  — the stages as a content-addressed artifact DAG: nodes declare typed
+  inputs/outputs, artifacts carry chained fingerprints, and resolved
+  nodes are skipped against an :class:`ArtifactCache`
+  (:mod:`repro.api.artifacts`) whose disk layer persists structural
+  artifacts next to the certificates;
+* :class:`ParallelProver` (:mod:`repro.api.prover`) — pool-resident
+  dispatch of the independent per-property evaluate/label nodes;
 * :class:`VerificationEngine` + executors (:mod:`repro.api.runtime`) —
   the verification round with pluggable scheduling (serial / process
   pool), fail-fast short-circuiting, and structured
@@ -26,12 +34,24 @@ The legacy entry points (``Theorem1Scheme``, ``LanewidthScheme``,
 these stages; they are re-exported here for convenience.
 """
 
+from repro.api.artifacts import ArtifactCache, ArtifactEntry
 from repro.api.facade import (
     LanewidthScheme,
     Theorem1Scheme,
     certify,
     certify_lanewidth_graph,
 )
+from repro.api.plan import (
+    CertificationPlan,
+    NodeKey,
+    PlanError,
+    PlanNode,
+    PlanRun,
+    PlanRunner,
+    lanewidth_plan,
+    theorem1_plan,
+)
+from repro.api.prover import ParallelProver, PropertyOutcome
 from repro.api.pipeline import (
     DEFAULT_EXACT_DECOMPOSITION_LIMIT,
     PROPERTY_STAGES,
@@ -88,6 +108,19 @@ __all__ = [
     # Certificate persistence.
     "CertificateStore",
     "StoreError",
+    # Plan-based proving + artifact cache.
+    "CertificationPlan",
+    "PlanNode",
+    "PlanRunner",
+    "PlanRun",
+    "PlanError",
+    "NodeKey",
+    "theorem1_plan",
+    "lanewidth_plan",
+    "ArtifactCache",
+    "ArtifactEntry",
+    "ParallelProver",
+    "PropertyOutcome",
     # Verification runtime.
     "VerificationEngine",
     "VerificationExecutor",

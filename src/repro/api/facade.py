@@ -45,6 +45,8 @@ def certify(
     verify: bool = True,
     engine: Optional[VerificationEngine] = None,
     store=None,
+    artifacts=None,
+    prover=None,
 ):
     """Certify MSO₂ ``properties`` on ``target`` and report the results.
 
@@ -83,7 +85,18 @@ def certify(
         successful report is persisted to it in wire form (graph
         fingerprint + codec header + encoded labels), ready for
         ``store.load(...)`` / ``store.reverify(...)`` in this process or
-        a later one — no prover stage reruns on the stored path.
+        a later one — no prover stage reruns on the stored path.  The
+        store's ``artifact_cache()`` additionally persists the prover's
+        structural artifacts, so re-certifying a seen graph (even from a
+        fresh process) skips every structural stage.
+    artifacts:
+        Optional :class:`~repro.api.artifacts.ArtifactCache` override
+        for the prover-artifact cache (``None``: derived from ``store``,
+        else in-memory).
+    prover:
+        Optional :class:`~repro.api.prover.ParallelProver`; batches
+        dispatch their independent per-property evaluate/label work
+        through its pool-resident workers.
 
     Returns a single :class:`CertificationReport` when ``properties`` is
     a single key, else ``{key: report}``.  Prover refusals are reported,
@@ -99,6 +112,8 @@ def certify(
             rng=rng,
             engine=engine,
             store=store,
+            artifacts=artifacts,
+            prover=prover,
         )
     else:
         # Explicit arguments must not be silently dropped: adopt them on
@@ -110,15 +125,31 @@ def certify(
             ("exact_limit", exact_limit),
             ("engine", engine),
             ("store", store),
+            ("prover", prover),
         ):
             if value is None:
                 continue
             current = getattr(session, name)
             if current is None:
-                setattr(session, name, value)
+                if name == "store":
+                    # Re-derives a lazily created store-less artifact
+                    # cache so the store's persistence takes effect.
+                    session.adopt_store(value)
+                else:
+                    setattr(session, name, value)
             elif current != value:
                 raise ValueError(
                     f"session was configured with {name}={current!r}, got "
                     f"{name}={value!r}; use a separate session per setting"
+                )
+        if artifacts is not None:
+            # ``session.artifacts`` is a lazily derived property; adopt
+            # the explicit cache only while it is still unset.
+            if session._artifacts is None:
+                session._artifacts = artifacts
+            elif session._artifacts is not artifacts:
+                raise ValueError(
+                    "session already carries an artifact cache; use a "
+                    "separate session per cache"
                 )
     return session.certify(target, properties, rng=rng, verify=verify)

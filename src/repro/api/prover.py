@@ -1,0 +1,190 @@
+"""Pool-resident parallel per-property proving.
+
+The per-property plan nodes (evaluate → label) are independent across
+properties: they share the structural artifacts (configuration,
+hierarchy root, embedding) and nothing else.  That is the same shape as
+the verification round's independent per-vertex checks, so this module
+applies the same pool-resident dispatch pattern as
+:class:`repro.api.runtime.ParallelExecutor`:
+
+* the **structural payload** ``(config, root, embedding)`` is pickled
+  exactly once per pool lifetime into the ``ProcessPoolExecutor``
+  initializer, where each worker keeps it resident;
+* per-property submissions carry only the pickled algebra instance;
+* a pool is bound to one payload — batches over the same structural
+  artifacts reuse it, a new payload retires it.  ``payload_ships``
+  counts shipments, mirroring the executor's observability contract.
+
+Determinism: a worker runs *exactly* the serial evaluate/label code
+(:func:`~repro.core.hierarchy.evaluate_hierarchy`,
+:class:`~repro.core.certificates.CertificateBuilder`) on a pickled copy
+of the same artifacts.  Hierarchy evaluations are keyed by serial
+``node_id`` (pickle-stable) and class fingerprints use the canonical
+state form (:func:`~repro.courcelle.algebra.canonical_state_repr`), so
+the returned labelings are bit-identical to a serial run — the tier-1
+plan suite asserts it on the full wire encoding.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Optional
+
+from repro.core.certificates import CertificateBuilder
+from repro.core.hierarchy import evaluate_hierarchy
+from repro.pls.bits import ClassIndexer
+
+
+@dataclass
+class PropertyOutcome:
+    """What proving one property against a resident hierarchy produced."""
+
+    refused: bool
+    refusal: Optional[str] = None
+    evaluation: object = None  # HierarchyEvaluation (node_id-keyed)
+    class_count: Optional[int] = None
+    mapping: Optional[dict] = None  # edge key -> Theorem1Label
+    evaluate_seconds: float = 0.0
+    label_seconds: float = 0.0
+
+
+def prove_one_property(config, root, embedding, algebra) -> PropertyOutcome:
+    """The serial evaluate+label body, shared by both dispatch modes.
+
+    Mirrors :class:`~repro.api.pipeline.EvaluateStage` /
+    :class:`~repro.api.pipeline.LabelStage` exactly — including the
+    refusal message — so outcomes are indistinguishable from a pipeline
+    run whichever side of a process boundary they were computed on.
+    """
+    began = perf_counter()
+    evaluation = evaluate_hierarchy(root, algebra)
+    accepted = evaluation.accepts(root)
+    evaluate_seconds = perf_counter() - began
+    if not accepted:
+        return PropertyOutcome(
+            refused=True,
+            refusal="property does not hold on the real subgraph",
+            evaluation=evaluation,
+            evaluate_seconds=evaluate_seconds,
+        )
+    began = perf_counter()
+    indexer = ClassIndexer()
+    builder = CertificateBuilder(config, root, evaluation, indexer)
+    mapping = builder.physical_labels(embedding)
+    return PropertyOutcome(
+        refused=False,
+        evaluation=evaluation,
+        class_count=indexer.class_count,
+        mapping=mapping,
+        evaluate_seconds=evaluate_seconds,
+        label_seconds=perf_counter() - began,
+    )
+
+
+# -- worker-process state (set once per pool by the initializer) --------
+
+_PROVER_PAYLOAD = None  # (config, root, embedding)
+
+
+def _init_prover_worker(payload_bytes: bytes) -> None:
+    """Pool initializer: rebuild the resident structural artifacts."""
+    global _PROVER_PAYLOAD
+    _PROVER_PAYLOAD = pickle.loads(payload_bytes)
+
+
+def _prove_property(algebra_bytes: bytes) -> PropertyOutcome:
+    """Worker-side entry point: one pickled algebra, nothing else."""
+    config, root, embedding = _PROVER_PAYLOAD
+    return prove_one_property(
+        config, root, embedding, pickle.loads(algebra_bytes)
+    )
+
+
+class ParallelProver:
+    """Fans the per-property evaluate/label nodes out to a process pool.
+
+        session = CertificationSession(prover=ParallelProver(max_workers=4))
+        reports = session.certify(graph, ZOO_KEYS)   # properties in parallel
+
+    The prover only accelerates batches; a single property (or a batch
+    fully served by the artifact cache) never touches the pool.  Use it
+    as a context manager or call :meth:`close` to release the workers.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        #: Payload shipments (= pool creations) over this prover's life.
+        self.payload_ships = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_payload: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def _pool_for(self, config, root, embedding) -> ProcessPoolExecutor:
+        if self._pool is not None:
+            held = self._pool_payload
+            if (
+                held is not None
+                and held[0] is config
+                and held[1] is root
+                and held[2] is embedding
+                # Graph edits between batches re-ship, exactly like the
+                # verification executor's payload identity contract.
+                and held[3] is config.graph.csr
+                and held[4] == config.graph.labels_version
+            ):
+                return self._pool
+            self.close()
+        blob = pickle.dumps((config, root, embedding))
+        self.payload_ships += 1
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_prover_worker,
+            initargs=(blob,),
+        )
+        self._pool_payload = (
+            config,
+            root,
+            embedding,
+            config.graph.csr,
+            config.graph.labels_version,
+        )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._pool_payload = None
+
+    def __enter__(self) -> "ParallelProver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def prove_batch(self, config, root, embedding, algebras) -> list:
+        """Prove every algebra against the resident structural payload.
+
+        Returns one :class:`PropertyOutcome` per algebra, in input
+        order.  Worker exceptions propagate — the serial path raises
+        them too (algebra arity guards and the like are prover bugs, not
+        refusals).
+        """
+        algebras = list(algebras)
+        if not algebras:
+            return []
+        pool = self._pool_for(config, root, embedding)
+        futures = [
+            pool.submit(_prove_property, pickle.dumps(algebra))
+            for algebra in algebras
+        ]
+        return [future.result() for future in futures]

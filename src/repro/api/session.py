@@ -1,20 +1,33 @@
-"""Certification sessions: structural-artifact caching + batch proving.
+"""Certification sessions: a thin view over the artifact cache.
 
-A :class:`CertificationSession` memoizes the graph-level structural
-artifacts (path decomposition, lane partition, completion, hierarchy)
-keyed by graph fingerprint, so certifying several MSO₂ properties on the
-same graph — or re-certifying a graph seen earlier in the session — only
-reruns the per-property stages (:class:`EvaluateStage` /
-:class:`LabelStage`).  The session's cumulative ``stage_counters`` make
-the reuse observable: tests assert that ``decompose``/``lanes``/
-``hierarchy`` ran exactly once across a multi-property batch.
+A :class:`CertificationSession` certifies property batches through the
+plan layer (:mod:`repro.api.plan`): every prover stage is a DAG node
+whose artifacts carry content fingerprints, and the session simply runs
+the plan against an :class:`~repro.api.artifacts.ArtifactCache`.  The
+cache *is* the memoization — the session no longer keeps a private memo
+dict:
 
-Every successful labeling is additionally *encoded* through the wire
-codec (:mod:`repro.codec`), so the report's ``max/mean/total_label_bits``
-are measured byte-string sizes; when the session carries a
-:class:`~repro.api.store.CertificateStore`, the encoded form is
-persisted automatically and can be re-verified later — in this process
-or another — without any prover stage.
+* within a session, the cache's memory layer replays the old behavior
+  (structural stages run once per graph, observable through the
+  cumulative ``stage_counters``);
+* with a disk layer (automatic when the session carries a
+  :class:`~repro.api.store.CertificateStore`, whose
+  ``artifact_cache()`` lives next to the certificates), a **fresh
+  process** certifying a previously seen graph resolves every
+  structural node from disk and runs zero structural stages — and
+  per-property evaluations resolve too, leaving only work keyed to the
+  new configuration's identifiers.
+
+Batches can additionally fan the independent per-property evaluate/label
+nodes out to a pool-resident :class:`~repro.api.prover.ParallelProver`
+(``CertificationSession(prover=...)``), the prover-side sibling of the
+verification round's ``ParallelExecutor``.
+
+Every successful labeling is wire-encoded (:mod:`repro.codec`), so the
+report's ``max/mean/total_label_bits`` are measured byte-string sizes;
+the encoded form rides along with the labeling artifact, and — when the
+session carries a store — is persisted for later re-verification with
+zero prover stages.
 """
 
 from __future__ import annotations
@@ -27,19 +40,26 @@ from repro.codec import encode_labeling
 from repro.core.lanewidth import ConstructionSequence, apply_construction
 from repro.courcelle.algebra import BoundedAlgebra
 from repro.courcelle.registry import resolve_algebra
+from repro.pls.bits import SizeContext
 from repro.pls.model import Configuration
-from repro.pls.scheme import ProverFailure
+from repro.pls.scheme import Labeling, ProverFailure
 
+from repro.api.artifacts import ArtifactCache
 from repro.api.pipeline import (
-    CertificationPipeline,
-    EvaluateStage,
-    HierarchyStage,
-    LabelStage,
     MatchSequenceStage,
     PipelineContext,
     PipelineScheme,
     lanewidth_stages,
     theorem1_stages,
+)
+from repro.api.plan import (
+    CertificationPlan,
+    NodeKey,
+    PlanRunner,
+    algebra_source_key,
+    config_fingerprint,
+    lanewidth_plan,
+    theorem1_plan,
 )
 from repro.api.results import CertificationReport, StageTiming
 from repro.api.runtime import VerificationEngine, VerificationReport
@@ -47,18 +67,21 @@ from repro.api.runtime import VerificationEngine, VerificationReport
 
 @dataclass
 class _Structure:
-    """Memoized structural artifacts for one graph fingerprint."""
+    """One resolved structural phase: the context plus its plan wiring."""
 
-    ctx: PipelineContext  # after the structural stages only
-    timings: tuple  # what the structural stages originally cost
+    ctx: PipelineContext  # after the structural nodes only
+    plan: CertificationPlan
+    #: artifact name -> NodeKey after the structural resolution; the
+    #: per-property key chains continue from here.
+    artifact_keys: dict
+    timings: tuple  # structural StageTiming (per-node cached flags)
+    all_cached: bool  # every structural node came from the cache
     sequence: Optional[ConstructionSequence]  # lanewidth mode marker
-    #: The matcher that already computed the expected-graph fingerprint;
-    #: reused by report schemes so replays don't rebuild the graph.
     match_stage: Optional[MatchSequenceStage] = None
 
 
 class CertificationSession:
-    """Batch/caching front end over the staged pipeline.
+    """Batch/caching front end over the plan-based prover.
 
         session = CertificationSession(k=2)
         reports = session.certify(graph, ["connected", "acyclic"])
@@ -81,7 +104,16 @@ class CertificationSession:
     store:
         Optional :class:`~repro.api.store.CertificateStore`; every
         successful (non-refused) report is persisted to it in wire form
-        as part of :meth:`certify`.
+        as part of :meth:`certify`, and — unless ``artifacts`` is given
+        explicitly — the store's ``artifact_cache()`` becomes the
+        session's cache, making structural artifacts persistent too.
+    artifacts:
+        Optional :class:`~repro.api.artifacts.ArtifactCache` override
+        (``None``: derived from the store, else a fresh in-memory cache).
+    prover:
+        Optional :class:`~repro.api.prover.ParallelProver`; property
+        batches with more than one uncached property dispatch their
+        evaluate/label nodes through it.
     """
 
     def __init__(
@@ -92,6 +124,8 @@ class CertificationSession:
         rng: Optional[random.Random] = None,
         engine: Optional[VerificationEngine] = None,
         store=None,
+        artifacts: Optional[ArtifactCache] = None,
+        prover=None,
     ):
         self.k = k
         self.decomposer = decomposer
@@ -99,22 +133,60 @@ class CertificationSession:
         self.rng = rng or random.Random()
         self.engine = engine
         self.store = store
+        self.prover = prover
         # Lazy fallback kept apart from ``engine``: the facade adopts
         # explicit arguments onto unset session fields, and a cached
         # default must not masquerade as user configuration there.
         self._default_engine: Optional[VerificationEngine] = None
+        # Likewise lazy: a store adopted by the facade after
+        # construction must still contribute its artifact directory.
+        # ``_artifacts_lazy`` records that the cache was derived (not
+        # user-supplied), so adoption can re-derive it.
+        self._artifacts = artifacts
+        self._artifacts_lazy = False
         #: Cumulative {stage name: times run} over the session's lifetime.
         self.stage_counters: dict = {}
-        self._structures: dict = {}  # fingerprint -> _Structure
+        #: Mode keys whose structural phase completed (cache-hit or run).
+        self._structure_keys: set = set()
+        #: Mode key -> the memoized lanewidth matcher (shared by report
+        #: schemes so replays compare fingerprints, not rebuilt graphs).
+        self._match_stages: dict = {}
         # Sequence targets are identity-cached (dataclasses are unhashable);
         # holding the sequence keeps id() stable.
         self._sequence_keys: dict = {}  # id(seq) -> (seq, fingerprint, graph)
 
     # ------------------------------------------------------------------
     @property
+    def artifacts(self) -> ArtifactCache:
+        """The session's artifact cache (derived from the store lazily)."""
+        if self._artifacts is None:
+            factory = getattr(self.store, "artifact_cache", None)
+            self._artifacts = (
+                factory() if callable(factory) else ArtifactCache()
+            )
+            self._artifacts_lazy = True
+        return self._artifacts
+
+    def adopt_store(self, store) -> None:
+        """Attach ``store`` (facade adoption path).
+
+        A lazily derived, store-less artifact cache is re-derived so the
+        adopted store's persistent artifact directory takes effect — an
+        explicitly supplied cache is never replaced.
+        """
+        self.store = store
+        if (
+            self._artifacts_lazy
+            and self._artifacts is not None
+            and self._artifacts.root is None
+        ):
+            self._artifacts = None
+            self._artifacts_lazy = False
+
+    @property
     def cached_graphs(self) -> int:
-        """Number of distinct graphs with memoized structure."""
-        return len(self._structures)
+        """Number of distinct (graph, mode) structures resolved so far."""
+        return len(self._structure_keys)
 
     def certify(
         self,
@@ -170,9 +242,7 @@ class CertificationSession:
 
         config, sequence, fingerprint = self._normalize(target, rng)
         try:
-            structure, cache_hit = self._structure_for(
-                config, sequence, fingerprint
-            )
+            structure = self._structure_for(config, sequence, fingerprint)
         except ProverFailure as failure:
             timings = getattr(failure, "stage_timings", ())
             reports = {
@@ -180,11 +250,7 @@ class CertificationSession:
                 for key, _prop, _algebra in resolved
             }
         else:
-            reports = {}
-            for key, _prop, algebra in resolved:
-                reports[key] = self._certify_one(
-                    structure, config, key, algebra, cache_hit, verify
-                )
+            reports = self._certify_batch(structure, config, resolved, verify)
         return next(iter(reports.values())) if single else reports
 
     def verify(
@@ -254,66 +320,62 @@ class CertificationSession:
             target.fingerprint(),
         )
 
-    def _structural_stages(self, sequence):
+    def _plan_for(self, sequence, mode_key):
         if sequence is not None:
-            return [MatchSequenceStage(sequence), HierarchyStage()]
+            match_stage = self._match_stages.get(mode_key)
+            if match_stage is None:
+                match_stage = MatchSequenceStage(sequence)
+                self._match_stages[mode_key] = match_stage
+            return lanewidth_plan(sequence, match_stage=match_stage)
         if self.k is None:
             raise ValueError(
                 "CertificationSession needs a pathwidth bound k to certify "
                 "graph targets (sequence targets carry their own width)"
             )
-        # theorem1_stages minus the per-property tail.
-        return theorem1_stages(
+        return theorem1_plan(
             self.k, decomposer=self.decomposer, exact_limit=self.exact_limit
-        )[:-2]
+        )
 
-    def _structure_for(self, config, sequence, fingerprint):
-        """Return ``(structure, cache_hit)``, running stages on a miss.
+    def _structure_for(self, config, sequence, fingerprint) -> _Structure:
+        """Resolve the structural phase, running only unresolved nodes.
 
-        The cache key includes the proving mode: the same graph reached
-        as a sequence target (lanewidth mode, no decomposition check)
-        and as a bare-graph target (Theorem 1 mode, width ``k`` checked)
-        yields different structures — sharing them would skip the other
-        mode's validation.
+        The mode is part of the key chain by construction: the same
+        graph reached as a sequence target (lanewidth mode, matcher
+        node) and as a bare-graph target (Theorem 1 mode, decompose node
+        checking the width bound) resolves through different node names
+        and parameters, so neither can satisfy the other.
         """
         if sequence is not None:
-            key = ("lanewidth", fingerprint)
+            mode_key = ("lanewidth", fingerprint)
         else:
-            # Decomposer and cutoff are part of the key: structures built
-            # by the default decomposer must not satisfy a later call that
-            # supplies an explicit witness decomposer (facade adoption).
-            key = (
+            mode_key = (
                 "theorem1",
                 self.k,
                 self.decomposer,
                 self.exact_limit,
                 fingerprint,
             )
-        structure = self._structures.get(key)
-        if structure is not None:
-            return structure, True
+        plan = self._plan_for(sequence, mode_key)
         ctx = PipelineContext(config=config)
-        stages = self._structural_stages(sequence)
-        try:
-            timings = CertificationPipeline(stages).run(
-                ctx, counters=self.stage_counters
-            )
-        except ProverFailure as failure:
-            # Carry the partial timings out so refused reports keep the
-            # same observability as evaluate-stage refusals.
-            failure.stage_timings = tuple(ctx.timings)
-            raise
-        match_stage = next(
-            (s for s in stages if isinstance(s, MatchSequenceStage)), None
-        )
-        structure = _Structure(
+        source_keys = {
+            "graph": fingerprint,
+            "config": config_fingerprint(config),
+        }
+        structural = plan.structural_nodes()
+        artifact_keys = plan.chain_keys(source_keys, structural)
+        keys = {node.name: artifact_keys[node.outputs[0]] for node in structural}
+        runner = PlanRunner(self.artifacts, self.stage_counters)
+        run = runner.run(plan, ctx, source_keys, nodes=structural, keys=keys)
+        self._structure_keys.add(mode_key)
+        return _Structure(
             ctx=ctx,
-            timings=tuple(timings),
+            plan=plan,
+            artifact_keys=artifact_keys,
+            timings=tuple(run.timings),
+            all_cached=run.all_cached,
             sequence=sequence,
-            match_stage=match_stage,
+            match_stage=self._match_stages.get(mode_key),
         )
-        self._structures[key] = structure
-        return structure, False
 
     def _scheme_for(self, structure, algebra):
         """A verifier-half scheme whose ``prove`` replays the full pipeline."""
@@ -332,36 +394,192 @@ class CertificationSession:
             )
         return PipelineScheme(algebra, structure.ctx.max_width, stages)
 
-    def _structure_timings(self, structure, cache_hit) -> tuple:
-        return tuple(
-            StageTiming(t.name, t.seconds, cached=cache_hit)
-            for t in structure.timings
-        )
+    # ------------------------------------------------------------------
+    def _property_keys(self, structure, algebra) -> dict:
+        """Resolve the per-property node keys for one algebra."""
+        source_key, persistable = algebra_source_key(algebra)
+        artifact_keys = dict(structure.artifact_keys)
+        artifact_keys["algebra"] = NodeKey(source_key, persistable)
+        nodes = structure.plan.property_nodes()
+        chained = structure.plan.chain_keys(artifact_keys, nodes)
+        return {node.name: chained[node.outputs[0]] for node in nodes}
 
-    def _certify_one(self, structure, config, key, algebra, cache_hit, verify=True):
+    def _certify_batch(self, structure, config, resolved, verify) -> dict:
+        reports: dict = {}
+        pending = []  # (key, algebra, prop_keys) to dispatch in parallel
+        if self.prover is not None:
+            for key, _prop, algebra in resolved:
+                prop_keys = self._property_keys(structure, algebra)
+                if prop_keys["evaluate"].key in self.artifacts:
+                    # The expensive half is already resolved; the plan
+                    # runner serves the hit (and reruns only the cheap
+                    # id-keyed label node when that one missed).
+                    reports[key] = self._certify_one(
+                        structure, config, key, algebra, verify, prop_keys
+                    )
+                else:
+                    pending.append((key, algebra, prop_keys))
+            if len(pending) == 1:
+                key, algebra, prop_keys = pending[0]
+                reports[key] = self._certify_one(
+                    structure, config, key, algebra, verify, prop_keys
+                )
+            elif pending:
+                reports.update(
+                    self._certify_parallel(structure, config, pending, verify)
+                )
+            # Preserve input order for callers iterating the dict.
+            return {key: reports[key] for key, _p, _a in resolved}
+        for key, _prop, algebra in resolved:
+            reports[key] = self._certify_one(
+                structure, config, key, algebra, verify
+            )
+        return reports
+
+    def _structure_timings(self, structure) -> tuple:
+        return structure.timings
+
+    def _certify_one(
+        self, structure, config, key, algebra, verify=True, prop_keys=None
+    ):
+        if prop_keys is None:
+            prop_keys = self._property_keys(structure, algebra)
         ctx = structure.ctx.structural_copy(config=config, algebra=algebra)
-        pipeline = CertificationPipeline([EvaluateStage(), LabelStage()])
+        runner = PlanRunner(self.artifacts, self.stage_counters)
         try:
-            property_timings = pipeline.run(ctx, counters=self.stage_counters)
+            run = runner.run(
+                structure.plan,
+                ctx,
+                None,
+                nodes=structure.plan.property_nodes(),
+                keys=prop_keys,
+            )
         except ProverFailure as failure:
             report = self._refused_report(key, config, failure)
             report.max_width = ctx.max_width
             report.lane_count = len(ctx.root.lanes)
             report.hierarchy_depth = ctx.hierarchy_depth
-            report.stage_timings = self._structure_timings(
-                structure, cache_hit
-            ) + tuple(ctx.timings)
-            report.structure_cached = cache_hit
+            report.stage_timings = self._structure_timings(structure) + tuple(
+                getattr(failure, "stage_timings", ())
+            )
+            report.structure_cached = structure.all_cached
             report.stage_counters = dict(self.stage_counters)
             return report
 
+        # The wire encoding is the ground truth for every size figure;
+        # it rides along with the labeling artifact so warm-cache runs
+        # skip re-encoding too.
+        encoded = None
+        label_key = prop_keys["label"].key
+        if "label" in run.cache_hits:
+            entry = self.artifacts.get(label_key)
+            if entry is not None:
+                encoded = entry.outputs.get("encoded")
+        if encoded is None:
+            encoded = encode_labeling(ctx.labeling)
+            self.artifacts.annotate(label_key, "encoded", encoded)
+        return self._finish_report(
+            structure,
+            config,
+            key,
+            algebra,
+            ctx.labeling,
+            ctx.class_count,
+            encoded,
+            self._structure_timings(structure) + tuple(run.timings),
+            verify,
+            ctx=ctx,
+        )
+
+    def _certify_parallel(self, structure, config, pending, verify) -> dict:
+        """Dispatch uncached properties through the pool-resident prover."""
+        ctx = structure.ctx
+        outcomes = self.prover.prove_batch(
+            config,
+            ctx.root,
+            ctx.embedding,
+            [algebra for _key, algebra, _pk in pending],
+        )
+        reports = {}
+        for (key, algebra, prop_keys), outcome in zip(pending, outcomes):
+            evaluate_timing = StageTiming("evaluate", outcome.evaluate_seconds)
+            self.stage_counters["evaluate"] = (
+                self.stage_counters.get("evaluate", 0) + 1
+            )
+            if outcome.refused:
+                failure = ProverFailure(outcome.refusal)
+                report = self._refused_report(
+                    key, config, failure, (evaluate_timing,)
+                )
+                report.max_width = ctx.max_width
+                report.lane_count = len(ctx.root.lanes)
+                report.hierarchy_depth = ctx.hierarchy_depth
+                report.stage_timings = (
+                    self._structure_timings(structure) + (evaluate_timing,)
+                )
+                report.structure_cached = structure.all_cached
+                report.stage_counters = dict(self.stage_counters)
+                reports[key] = report
+                continue
+            label_timing = StageTiming("label", outcome.label_seconds)
+            self.stage_counters["label"] = (
+                self.stage_counters.get("label", 0) + 1
+            )
+            # Feed the cache exactly as the plan runner would have.
+            evaluate_key = prop_keys["evaluate"]
+            self.artifacts.put(
+                evaluate_key.key,
+                "evaluate",
+                {"evaluation": outcome.evaluation},
+                outcome.evaluate_seconds,
+                persist=evaluate_key.persistable,
+            )
+            labeling = Labeling(
+                "edges",
+                outcome.mapping,
+                SizeContext(config.n, class_count=outcome.class_count),
+            )
+            label_key = prop_keys["label"]
+            self.artifacts.put(
+                label_key.key,
+                "label",
+                {"class_count": outcome.class_count, "labeling": labeling},
+                outcome.label_seconds,
+                persist=label_key.persistable,
+            )
+            encoded = encode_labeling(labeling)
+            self.artifacts.annotate(label_key.key, "encoded", encoded)
+            reports[key] = self._finish_report(
+                structure,
+                config,
+                key,
+                algebra,
+                labeling,
+                outcome.class_count,
+                encoded,
+                self._structure_timings(structure)
+                + (evaluate_timing, label_timing),
+                verify,
+            )
+        return reports
+
+    def _finish_report(
+        self,
+        structure,
+        config,
+        key,
+        algebra,
+        labeling,
+        class_count,
+        encoded,
+        stage_timings,
+        verify,
+        ctx=None,
+    ) -> CertificationReport:
+        root = structure.ctx.root
         scheme = self._scheme_for(structure, algebra)
-        # The wire encoding is the ground truth for every size figure:
-        # measured bit lengths go in the headline fields, the arithmetic
-        # label_bits estimate rides along as accounted_*.
-        encoded = encode_labeling(ctx.labeling)
         if verify:
-            verification = self._engine().verify(config, scheme, ctx.labeling)
+            verification = self._engine().verify(config, scheme, labeling)
             result = verification.as_result()
             accepted = verification.accepted
         else:
@@ -376,24 +594,23 @@ class CertificationSession:
             accepted=accepted,
             n=config.graph.n,
             m=config.graph.m,
-            max_width=ctx.max_width,
-            lane_count=len(ctx.root.lanes),
-            hierarchy_depth=ctx.hierarchy_depth,
-            class_count=ctx.class_count,
+            max_width=structure.ctx.max_width,
+            lane_count=len(root.lanes),
+            hierarchy_depth=structure.ctx.hierarchy_depth,
+            class_count=class_count,
             max_label_bits=encoded.max_bits,
             mean_label_bits=encoded.mean_bits,
             total_label_bits=encoded.total_bits,
-            accounted_max_label_bits=ctx.labeling.max_label_bits(scheme),
-            accounted_mean_label_bits=ctx.labeling.mean_label_bits(scheme),
-            accounted_total_label_bits=ctx.labeling.total_label_bits(scheme),
-            stage_timings=self._structure_timings(structure, cache_hit)
-            + tuple(property_timings),
+            accounted_max_label_bits=labeling.max_label_bits(scheme),
+            accounted_mean_label_bits=labeling.mean_label_bits(scheme),
+            accounted_total_label_bits=labeling.total_label_bits(scheme),
+            stage_timings=tuple(stage_timings),
             stage_counters=dict(self.stage_counters),
-            structure_cached=cache_hit,
+            structure_cached=structure.all_cached,
             verification=verification,
             config=config,
             scheme=scheme,
-            labeling=ctx.labeling,
+            labeling=labeling,
             result=result,
             encoded=encoded,
         )

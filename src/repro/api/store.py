@@ -92,6 +92,25 @@ class CertificateStore:
 
     def __init__(self, root):
         self.root = Path(root)
+        self._artifact_cache = None
+
+    # ------------------------------------------------------------------
+    def artifact_cache(self):
+        """The store's persistent prover-artifact cache (lazy, shared).
+
+        Structural artifacts (decomposition, lanes, completion,
+        hierarchy) and per-property evaluations live under
+        ``<root>/artifacts/``, next to the certificates — see
+        :mod:`repro.api.artifacts` and ``docs/FORMAT.md`` § "Artifact
+        envelopes".  Sessions carrying this store adopt the cache
+        automatically, so a fresh process certifying a previously seen
+        graph runs zero structural prover stages.
+        """
+        if self._artifact_cache is None:
+            from repro.api.artifacts import ArtifactCache
+
+            self._artifact_cache = ArtifactCache(self.root / "artifacts")
+        return self._artifact_cache
 
     # ------------------------------------------------------------------
     def path_for(self, fingerprint: str, property_key: str) -> Path:

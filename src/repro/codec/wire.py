@@ -50,6 +50,7 @@ from repro.core.certificates import (
     Theorem1Label,
     TLevelRecord,
 )
+from repro.courcelle.algebra import canonical_state_repr
 from repro.pls.bits import SizeContext
 from repro.pls.pointer import PointerLabel
 from repro.pls.scheme import Labeling
@@ -129,7 +130,10 @@ class _Collector:
                 )
             for _lane, x in ids:
                 self.ids.add(x)
-        key = repr(info.state)
+        # Canonical form, not raw repr: states that crossed a process
+        # boundary (pool-resident per-property proving) must dedupe into
+        # the same dictionary slot as their locally built equals.
+        key = canonical_state_repr(info.state)
         if key not in self._state_index:
             self._state_index[key] = len(self.states)
             self.states.append(info.state)
@@ -335,7 +339,9 @@ class WireHeader:
 
     def state_code(self, state) -> int:
         try:
-            return self._lookup("_state_index", self.states, repr)[repr(state)]
+            return self._lookup(
+                "_state_index", self.states, canonical_state_repr
+            )[canonical_state_repr(state)]
         except KeyError:
             raise CodecError(
                 "homomorphism-class state is not in the header table"

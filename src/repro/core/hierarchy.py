@@ -207,17 +207,23 @@ class NodeEvaluation:
 
 @dataclass
 class HierarchyEvaluation:
-    """Results of one bottom-up algebra pass over a hierarchy."""
+    """Results of one bottom-up algebra pass over a hierarchy.
+
+    Evaluations are keyed by the serial ``node_id`` assigned by
+    :func:`number_nodes` (not by object identity), so an evaluation
+    pickled to another process — or persisted in an artifact cache —
+    still resolves against any equal copy of its hierarchy.
+    """
 
     algebra: BoundedAlgebra
-    node_eval: dict = field(default_factory=dict)  # id(node) -> NodeEvaluation
-    subtree_eval: dict = field(default_factory=dict)  # id(member) -> NodeEvaluation
+    node_eval: dict = field(default_factory=dict)  # node_id -> NodeEvaluation
+    subtree_eval: dict = field(default_factory=dict)  # member node_id -> NodeEvaluation
 
     def for_node(self, node: HierarchyNode) -> NodeEvaluation:
-        return self.node_eval[id(node)]
+        return self.node_eval[node.node_id]
 
     def for_subtree(self, member: HierarchyNode) -> NodeEvaluation:
-        return self.subtree_eval[id(member)]
+        return self.subtree_eval[member.node_id]
 
     def accepts(self, root: HierarchyNode) -> bool:
         evaluation = self.for_node(root)
@@ -238,6 +244,10 @@ def evaluate_hierarchy(
     root: HierarchyNode, algebra: BoundedAlgebra
 ) -> HierarchyEvaluation:
     """Compute homomorphism classes bottom-up (the f_B/f_P of Prop 6.1)."""
+    if root.node_id < 0:
+        # Hand-built hierarchies (tests, external callers) may skip
+        # number_nodes; evaluation keys require the serial ids.
+        number_nodes(root)
     evaluation = HierarchyEvaluation(algebra=algebra)
     _eval_node(root, algebra, evaluation)
     return evaluation
@@ -328,7 +338,7 @@ def _eval_node(node, algebra, evaluation) -> NodeEvaluation:
             sub_result = NodeEvaluation(
                 acc_state, acc_boundary, t_in, t_out, acc.lanes
             )
-            evaluation.subtree_eval[id(member)] = sub_result
+            evaluation.subtree_eval[member.node_id] = sub_result
             return sub_result
 
         result = subtree(node.root_member)
@@ -337,7 +347,7 @@ def _eval_node(node, algebra, evaluation) -> NodeEvaluation:
         )
     else:
         raise ValueError(f"unknown node kind {node.kind!r}")
-    evaluation.node_eval[id(node)] = result
+    evaluation.node_eval[node.node_id] = result
     return result
 
 

@@ -71,11 +71,47 @@ class BoundedAlgebra(ABC):
 
         Homomorphism classes are finite for fixed arity, so a stable
         fingerprint is an honest stand-in for the ``O(log |C|)``-bit class
-        index the paper's labels carry.
+        index the paper's labels carry.  The fingerprint is computed over
+        :func:`canonical_state_repr`, so equal states hash identically in
+        every process — including states that were pickled across a
+        worker-pool boundary, where raw ``repr`` of set-like containers
+        is not guaranteed to enumerate in the same order.
         """
         import hashlib
 
-        return hashlib.sha256(repr(state).encode()).hexdigest()[:16]
+        return hashlib.sha256(
+            canonical_state_repr(state).encode()
+        ).hexdigest()[:16]
+
+
+def canonical_state_repr(state) -> str:
+    """Return a deterministic textual form of an algebra state.
+
+    Equal states must yield equal strings in every process: the class
+    indexer, the wire header's state dictionary, and the artifact cache
+    all key on this form.  Plain ``repr`` fails that contract for
+    ``set``/``frozenset`` (iteration order follows the hash table, which
+    can differ after a pickle round-trip or under hash randomization),
+    and for ``dict`` (insertion order).  Containers are therefore
+    rewritten recursively with sorted, canonical elements; atoms fall
+    back to ``repr``.
+    """
+    # Each container form carries a distinct prefix so the rewriting
+    # stays injective across types (set() and {} must not collide).
+    if isinstance(state, (set, frozenset)):
+        inner = sorted(canonical_state_repr(item) for item in state)
+        return "s{" + ",".join(inner) + "}"
+    if isinstance(state, dict):
+        items = sorted(
+            (canonical_state_repr(k), canonical_state_repr(v))
+            for k, v in state.items()
+        )
+        return "d{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(state, tuple):
+        return "(" + ",".join(canonical_state_repr(item) for item in state) + ",)"
+    if isinstance(state, list):
+        return "[" + ",".join(canonical_state_repr(item) for item in state) + "]"
+    return repr(state)
 
 
 def join_slot_map(arity1: int, arity2: int, identify: tuple) -> dict:

@@ -49,6 +49,7 @@ class CSRAdjacency:
         "degrees",
         "_edge_index",
         "_name_rows",
+        "_fingerprint_base",
     )
 
     def __init__(self, adjacency: dict):
@@ -88,6 +89,24 @@ class CSRAdjacency:
         self.degrees = degrees
         self._edge_index = edge_index
         self._name_rows: dict = {}
+        self._fingerprint_base = None
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Hash objects cannot be pickled; the base digest is a pure
+        # cache, rebuilt on demand after transport.  Name-row tuples are
+        # likewise derived — dropping them keeps payloads lean.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_fingerprint_base", "_name_rows")
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._name_rows = {}
+        self._fingerprint_base = None
 
     # ------------------------------------------------------------------
     @property
@@ -120,6 +139,31 @@ class CSRAdjacency:
         """Return the stable edge index of ``{u, v}`` (KeyError if absent)."""
         i, j = self.index[u], self.index[v]
         return self._edge_index[(i, j) if i < j else (j, i)]
+
+    def fingerprint_base(self):
+        """Return the structural half of the content hash, unfinalized.
+
+        The digest covers the sorted vertex names and canonical edge keys
+        — exactly the snapshot's own content, so it is computed once per
+        snapshot and shared by every graph holding it (``Graph.copy()``
+        included).  Callers ``copy()`` the returned hash object before
+        finalizing or mixing in label bytes; the byte stream matches the
+        historical ``Graph.fingerprint`` prefix, keeping fingerprints
+        stable across this optimization.
+        """
+        if self._fingerprint_base is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            for v in self.vertices:
+                digest.update(repr(v).encode())
+                digest.update(b"\x00")
+            digest.update(b"\x01")
+            for key in self.edges:
+                digest.update(repr(key).encode())
+                digest.update(b"\x00")
+            self._fingerprint_base = digest
+        return self._fingerprint_base
 
     def __repr__(self) -> str:
         return f"CSRAdjacency(n={self.n}, m={self.m})"

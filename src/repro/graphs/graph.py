@@ -70,6 +70,7 @@ class Graph:
         "_m",
         "_csr",
         "_labels_version",
+        "_fp_cache",
     )
 
     def __init__(
@@ -83,6 +84,7 @@ class Graph:
         self._m: int = 0
         self._csr: Optional[CSRAdjacency] = None
         self._labels_version: int = 0
+        self._fp_cache: dict = {}
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -516,19 +518,25 @@ class Graph:
         fingerprints have identical vertices/edges/labels up to hash
         collision (blake2b-128, negligible).  ``include_labels=False``
         matches the bare ``(V, E)`` identity used by the lanewidth
-        prover's configuration check.  O(n + m) plus the sort in
-        :meth:`edges`; much cheaper than materializing a comparison graph.
-        """
-        import hashlib
+        prover's configuration check.
 
-        digest = hashlib.blake2b(digest_size=16)
-        for v in self.vertices():
-            digest.update(repr(v).encode())
-            digest.update(b"\x00")
-        digest.update(b"\x01")
-        for u, v in self.edges():
-            digest.update(repr((u, v)).encode())
-            digest.update(b"\x00")
+        The structural half of the hash lives on the CSR snapshot
+        (:meth:`CSRAdjacency.fingerprint_base`) and the final string is
+        memoized per ``(snapshot, labels_version)``, so repeated calls —
+        session normalization, artifact-cache keys, store lookups — cost
+        a dict probe instead of an O(n + m) rehash.  Structural mutation
+        replaces the snapshot and label mutation bumps the version, so a
+        stale value can never be returned.
+        """
+        csr = self.csr
+        cached = self._fp_cache.get(include_labels)
+        if (
+            cached is not None
+            and cached[0] is csr
+            and cached[1] == self._labels_version
+        ):
+            return cached[2]
+        digest = csr.fingerprint_base().copy()
         if include_labels:
             digest.update(b"\x02")
             for v, label in sorted(self._vertex_labels.items(), key=repr):
@@ -538,7 +546,9 @@ class Graph:
             for key, label in sorted(self._edge_labels.items(), key=repr):
                 digest.update(repr((key, label)).encode())
                 digest.update(b"\x00")
-        return digest.hexdigest()
+        value = digest.hexdigest()
+        self._fp_cache[include_labels] = (csr, self._labels_version, value)
+        return value
 
     def same_graph(self, other: "Graph") -> bool:
         """Return whether self and other have identical vertices and edges.

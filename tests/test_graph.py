@@ -248,3 +248,58 @@ class TestDerivation:
     def test_networkx_roundtrip(self):
         g = cycle_graph(5)
         assert Graph.from_networkx(g.to_networkx()).same_graph(g)
+
+
+class TestFingerprintCacheInvalidation:
+    """Graph.fingerprint is served from the CSR snapshot + a memo; every
+    mutation class must invalidate it (regression for the cached path)."""
+
+    def test_repeated_calls_are_memoized(self):
+        g = path_graph(6)
+        first = g.fingerprint()
+        # Same snapshot, same label version: the memo must serve this.
+        assert g.fingerprint() == first
+        assert g._fp_cache[True][2] == first
+
+    def test_structural_mutation_invalidates(self):
+        g = path_graph(6)
+        baseline = g.fingerprint()
+        g.add_edge(0, 5)
+        assert g.fingerprint() != baseline
+        g.remove_edge(0, 5)
+        assert g.fingerprint() == baseline  # content equality restored
+        g.add_vertex(99)
+        assert g.fingerprint() != baseline
+        g.remove_vertex(99)
+        assert g.fingerprint() == baseline
+
+    def test_label_mutation_invalidates(self):
+        g = path_graph(6)
+        baseline = g.fingerprint()
+        structural = g.fingerprint(include_labels=False)
+        g.set_vertex_label(0, "x")
+        assert g.fingerprint() != baseline
+        assert g.fingerprint(include_labels=False) == structural
+        g.set_edge_label(0, 1, "real")
+        assert g.fingerprint() != baseline
+        # Removing a labeled edge drops its label: fingerprint changes.
+        g.remove_edge(0, 1)
+        assert g.fingerprint(include_labels=False) != structural
+
+    def test_copy_shares_snapshot_but_not_staleness(self):
+        g = path_graph(5)
+        baseline = g.fingerprint()
+        h = g.copy()
+        assert h.fingerprint() == baseline
+        h.add_edge(0, 4)
+        assert h.fingerprint() != baseline
+        assert g.fingerprint() == baseline  # the original is untouched
+
+    def test_pickle_roundtrip_recomputes(self):
+        import pickle
+
+        g = path_graph(5)
+        g.set_vertex_label(2, "mid")
+        baseline = g.fingerprint()
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone.fingerprint() == baseline
