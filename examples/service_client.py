@@ -1,0 +1,128 @@
+"""Drive the certification daemon end to end: spawn, certify, coalesce.
+
+Launches ``python -m repro.service`` as a real subprocess on a unix
+socket, waits for its ``SERVICE_READY`` handshake, and then exercises
+the serving matrix through the async :class:`repro.service.ServiceClient`:
+
+* a liveness ``ping``;
+* five *identical* concurrent certify requests — the daemon runs the
+  prover once and coalesces the rest (asserted via the metrics
+  snapshot: ``prover_runs == 1``, ``coalesced_requests > 0``);
+* a warm repeat served from the sharded certificate store;
+* a ``reverify`` replaying the verification round from disk;
+* a graceful ``shutdown``, after which the daemon flushes one final
+  ``SERVICE_METRICS`` line and exits 0.
+
+CI runs this script as the service smoke test.
+
+Run:  python examples/service_client.py
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments import lanewidth_workload
+from repro.service import ServiceClient, result_of
+
+
+def spawn_daemon(socket_path: str, store_root: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "--socket", socket_path,
+            "--store", store_root,
+            "--k", "3",
+            "--workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = proc.stdout.readline().strip()
+    assert ready == f"SERVICE_READY unix:{socket_path}", ready
+    print(f"daemon up: {ready}")
+    return proc
+
+
+async def drive(socket_path: str) -> None:
+    _sequence, graph = lanewidth_workload(2, 24, 2025)
+    print(f"network: n={graph.n}, m={graph.m}, "
+          f"fingerprint {graph.fingerprint()[:16]}...")
+
+    async with await ServiceClient.connect(socket_path=socket_path) as client:
+        pong = result_of(await client.ping())
+        print(f"ping -> protocol v{pong['protocol_version']}")
+
+        # -- five identical requests, all in flight at once ------------
+        responses = await asyncio.gather(
+            *[client.certify(graph, ["connected"]) for _ in range(5)]
+        )
+        for response in responses:
+            assert result_of(response)["reports"]["connected"]["accepted"]
+        joined = sum(r["meta"]["coalesced"] for r in responses)
+        print(f"5 identical concurrent certifies: {5 - joined} computed, "
+              f"{joined} coalesced")
+
+        snapshot = result_of(await client.metrics())
+        assert snapshot["prover_runs"] == 1, snapshot
+        assert snapshot["coalesced_requests"] > 0, snapshot
+        print(f"metrics agree: prover_runs={snapshot['prover_runs']}, "
+              f"coalesced_requests={snapshot['coalesced_requests']}")
+
+        # -- warm repeat: served from the sharded store ----------------
+        warm = result_of(await client.certify(graph, ["connected"]))
+        assert warm["served"]["connected"] == "store", warm["served"]
+        print(f"warm repeat served from: {warm['served']['connected']}")
+
+        # -- replay the verification round from disk -------------------
+        replay = result_of(
+            await client.reverify(graph.fingerprint(), "connected")
+        )
+        verification = replay["reports"]["connected"]["verification"]
+        assert verification["accepted"], verification
+        print(f"reverify: round re-run on {verification['views_built']} "
+              f"local views, accepted")
+
+        final = result_of(await client.metrics())
+        print(f"store: {final['store']['entries']} entries in "
+              f"{final['store']['shards']} shard(s), "
+              f"{final['store']['bytes']} bytes")
+
+        stopping = result_of(await client.shutdown())
+        assert stopping["stopping"] is True
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        socket_path = os.path.join(root, "repro.sock")
+        proc = spawn_daemon(socket_path, os.path.join(root, "certs"))
+        try:
+            asyncio.run(drive(socket_path))
+            out, err = proc.communicate(timeout=120)
+        except BaseException:
+            proc.kill()
+            proc.communicate()
+            raise
+        if proc.returncode != 0:
+            sys.stderr.write(err)
+            raise SystemExit("daemon did not exit cleanly")
+        flushed = [
+            line for line in out.splitlines()
+            if line.startswith("SERVICE_METRICS ")
+        ]
+        assert len(flushed) == 1, out
+        print("daemon drained and flushed its final metrics snapshot")
+
+
+if __name__ == "__main__":
+    main()

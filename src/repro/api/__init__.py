@@ -98,7 +98,7 @@ from repro.api.runtime import (
     verify_labeling,
 )
 from repro.api.session import CertificationSession
-from repro.api.store import CertificateStore, StoreError
+from repro.api.store import CertificateStore, StoreError, StoreMetrics
 
 __all__ = [
     "certify",
@@ -108,6 +108,7 @@ __all__ = [
     # Certificate persistence.
     "CertificateStore",
     "StoreError",
+    "StoreMetrics",
     # Plan-based proving + artifact cache.
     "CertificationPlan",
     "PlanNode",

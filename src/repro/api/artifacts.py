@@ -29,9 +29,13 @@ only slow it down.
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
 from pathlib import Path
 from typing import Optional
+
+_TMP_COUNTER = itertools.count()
 
 #: Envelope magic + version; bumped when the manifest layout changes.
 ARTIFACT_MAGIC = b"repro-artifact\x00"
@@ -169,9 +173,21 @@ class ArtifactCache:
             # memory layer still serves this session; disk just misses.
             return
         path = self.path_for(key)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(payload)
-        tmp.replace(path)  # atomic publish, as in the certificate store
+        # Unique temp name (as in the certificate store): two processes
+        # resolving the same node concurrently must never interleave
+        # bytes in a shared temp file — last publish wins wholesale.
+        tmp = path.parent / (
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER):x}.tmp"
+        )
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)  # atomic publish
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def _read(self, key: str) -> Optional[ArtifactEntry]:
         path = self.path_for(key)

@@ -24,12 +24,40 @@ stay raw codec bytes — the part whose size the paper bounds and the
 reports measure.  Entries record the graph fingerprint they were proven
 against and :meth:`load` recomputes it, so a corrupted or swapped graph
 is rejected instead of silently verified.
+
+Layout (v2, service-grade)
+--------------------------
+Entries live in **fingerprint-prefix shards**: ``<root>/<fp[:2]>/<fp
+prefix>-<property slug>.cert``.  256 shards keep directory listings
+short under millions of entries and let concurrent writers touch
+disjoint directories.  The original flat layout (every entry directly
+under ``<root>``) is still read — a flat entry found by :meth:`load` is
+atomically migrated into its shard — so stores written before the shard
+layout keep working (see ``docs/FORMAT.md`` § "Sharded store layout").
+
+Concurrent-writer safety: :meth:`save` writes to a uniquely named temp
+file in the destination shard and publishes it with :func:`os.replace`,
+so readers never observe half an entry and two processes saving the same
+key cannot interleave bytes — last writer wins wholesale.  A crash
+between write and publish leaves only a ``*.tmp`` orphan, which
+:meth:`clean_orphans` (called by :meth:`compact`) removes once stale.
+
+Capacity: pass ``byte_budget=`` to bound the store's on-disk size.
+:meth:`compact` (triggered by :meth:`save` when a budget is set) evicts
+least-recently-used entries — :meth:`load` bumps an entry's mtime, so
+recency is observable across processes — until the budget holds.  A
+:class:`StoreMetrics` instance counts hits/misses/saves/evictions for
+the service layer's observability snapshot.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
 import re
+import threading
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -45,14 +73,65 @@ from repro.pls.model import Configuration
 
 #: File magic + envelope version; bumped when the manifest layout changes
 #: (the label payload format is versioned separately by WIRE_VERSION).
+#: The *directory* layout (flat vs sharded) is not part of the envelope:
+#: v1 envelopes read identically from either location.
 STORE_MAGIC = b"repro-cert\x00"
 STORE_VERSION = 1
 
+#: Shard name length: 2 hex characters of the fingerprint = 256 shards.
+SHARD_PREFIX_LEN = 2
+
+#: Temp files older than this are crash orphans, not writes in flight.
+ORPHAN_AGE_SECONDS = 300.0
+
 _SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+_SHARD_RE = re.compile(r"^[0-9a-f]{%d}$" % SHARD_PREFIX_LEN)
+_TMP_COUNTER = itertools.count()
 
 
 class StoreError(ValueError):
     """Raised on missing, corrupted, or mismatched store entries."""
+
+
+class StoreMetrics:
+    """Lifetime counters for one store (thread-safe increments).
+
+    ``hits``/``misses`` count :meth:`CertificateStore.load` outcomes
+    (a miss is a lookup of an absent entry; corruption raises *and*
+    counts as a miss — the entry is unusable either way), ``saves``
+    successful publishes, ``evictions``/``bytes_evicted`` what
+    :meth:`~CertificateStore.compact` removed, ``orphans_cleaned``
+    stale temp files removed, and ``migrated`` flat-layout entries
+    moved into their shard.  :meth:`snapshot` returns a JSON-safe dict;
+    the service layer embeds it in its own metrics snapshot.
+    """
+
+    FIELDS = (
+        "hits",
+        "misses",
+        "saves",
+        "evictions",
+        "bytes_evicted",
+        "orphans_cleaned",
+        "migrated",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"StoreMetrics({pairs})"
 
 
 def _slug(text: str) -> str:
@@ -71,27 +150,41 @@ def _slug(text: str) -> str:
 
 
 class CertificateStore:
-    """A directory of persisted certificates, one file per entry.
+    """A sharded directory of persisted certificates, one file per entry.
 
     Parameters
     ----------
     root:
         Directory holding the entries (created on first use).  Entry
         files are named ``<fingerprint prefix>-<property slug>-<key
-        digest>.cert`` — the digest keeps distinct property keys on
-        distinct paths even when they slug identically; the full
-        fingerprint lives inside the envelope and is what :meth:`load`
-        matches on.
+        digest>.cert`` inside the ``<fingerprint[:2]>`` shard — the
+        digest keeps distinct property keys on distinct paths even when
+        they slug identically; the full fingerprint lives inside the
+        envelope and is what :meth:`load` matches on.
+    byte_budget:
+        Optional cap on the summed size of entry files.  When set,
+        :meth:`save` triggers :meth:`compact`, which evicts
+        least-recently-used entries until the store fits.  ``None``
+        (default) never evicts.
+    metrics:
+        Optional :class:`StoreMetrics` to count against (a fresh one is
+        created otherwise) — share one instance to aggregate several
+        stores, or read ``store.metrics.snapshot()``.
 
-    The store is deliberately dumb — no index, no locking — because the
-    workload it serves (benchmarks and deployments that certify once and
-    re-verify many times) is append-mostly and fingerprint-addressed.
+    Writers are concurrent-safe (unique temp file + ``os.replace``);
+    there is still no cross-process *index*, because the workload is
+    append-mostly and fingerprint-addressed — the filesystem is the
+    index.
     """
 
     suffix = ".cert"
 
-    def __init__(self, root):
+    def __init__(self, root, byte_budget: Optional[int] = None, metrics=None):
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError("byte_budget must be positive (or None)")
         self.root = Path(root)
+        self.byte_budget = byte_budget
+        self.metrics = metrics if metrics is not None else StoreMetrics()
         self._artifact_cache = None
 
     # ------------------------------------------------------------------
@@ -113,26 +206,217 @@ class CertificateStore:
         return self._artifact_cache
 
     # ------------------------------------------------------------------
+    # Layout: shards, legacy flat paths, migration.
+    # ------------------------------------------------------------------
+    def shard_for(self, fingerprint: str) -> Path:
+        """The shard directory owning ``fingerprint``."""
+        return self.root / fingerprint[:SHARD_PREFIX_LEN]
+
+    def _entry_name(self, fingerprint: str, property_key: str) -> str:
+        return f"{fingerprint[:16]}-{_slug(property_key)}{self.suffix}"
+
     def path_for(self, fingerprint: str, property_key: str) -> Path:
-        """Deterministic entry path for one ``(graph, property)`` pair."""
-        return self.root / (
-            f"{fingerprint[:16]}-{_slug(property_key)}{self.suffix}"
+        """Canonical (sharded) entry path for one ``(graph, property)``."""
+        return self.shard_for(fingerprint) / self._entry_name(
+            fingerprint, property_key
         )
 
+    def flat_path_for(self, fingerprint: str, property_key: str) -> Path:
+        """The pre-shard (flat) path the v1 layout used for this entry."""
+        return self.root / self._entry_name(fingerprint, property_key)
+
+    def _locate(self, fingerprint: str, property_key: str) -> Path:
+        """Resolve the entry path, migrating a flat-layout entry.
+
+        Prefers the sharded path; a legacy flat entry is moved into its
+        shard with :func:`os.replace` (racing migrators are harmless —
+        the loser's replace finds the source gone and simply retargets
+        the shard path).  Returns the sharded path whether or not
+        anything exists there, so callers get one canonical location.
+        """
+        sharded = self.path_for(fingerprint, property_key)
+        if sharded.exists():
+            return sharded
+        flat = self.flat_path_for(fingerprint, property_key)
+        if flat.exists():
+            try:
+                sharded.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(flat, sharded)
+                self.metrics.add("migrated")
+            except OSError:
+                # Lost the migration race (or read-only media): whoever
+                # won left the entry at the shard path; fall through.
+                pass
+        return sharded
+
+    def migrate_flat(self) -> int:
+        """Move every flat-layout entry into its shard; return the count.
+
+        Idempotent and concurrent-safe (each move is an
+        :func:`os.replace`).  :meth:`load` migrates lazily on access;
+        this walks the whole root for stores that want the layout
+        settled in one pass.
+        """
+        moved = 0
+        for path in sorted(self.root.glob(f"*{self.suffix}")):
+            try:
+                manifest = self._read(path)
+            except StoreError:
+                continue  # unreadable flat entry: leave it for forensics
+            target = self.path_for(
+                manifest["fingerprint"], manifest["property_key"]
+            )
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            except OSError:
+                continue
+            moved += 1
+        if moved:
+            self.metrics.add("migrated", moved)
+        return moved
+
+    def _entry_paths(self) -> list:
+        """Every entry file, sharded and (legacy) flat, sorted."""
+        if not self.root.is_dir():
+            return []
+        paths = list(self.root.glob(f"*{self.suffix}"))
+        for shard in self.root.iterdir():
+            if shard.is_dir() and _SHARD_RE.match(shard.name):
+                paths.extend(shard.glob(f"*{self.suffix}"))
+        return sorted(paths)
+
+    # ------------------------------------------------------------------
+    # Enumeration and accounting.
+    # ------------------------------------------------------------------
     def __contains__(self, key) -> bool:
         fingerprint, property_key = key
-        return self.path_for(fingerprint, property_key).exists()
+        return (
+            self.path_for(fingerprint, property_key).exists()
+            or self.flat_path_for(fingerprint, property_key).exists()
+        )
 
     def __len__(self) -> int:
-        return len(list(self.root.glob(f"*{self.suffix}")))
+        return len(self._entry_paths())
 
     def entries(self) -> list:
         """Return ``(fingerprint, property_key, path)`` for every entry."""
         out = []
-        for path in sorted(self.root.glob(f"*{self.suffix}")):
+        for path in self._entry_paths():
             manifest = self._read(path)
             out.append((manifest["fingerprint"], manifest["property_key"], path))
         return out
+
+    def stats(self) -> dict:
+        """Layout accounting: entry count, bytes, shards, stragglers.
+
+        Pure filesystem arithmetic (no envelope is parsed), so it is
+        cheap enough for the service metrics snapshot.  Lifetime
+        counters (hits/misses/evictions/...) live on :attr:`metrics`.
+        """
+        paths = self._entry_paths()
+        total = 0
+        shards = set()
+        flat = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # evicted/replaced underneath us mid-walk
+            if path.parent == self.root:
+                flat += 1
+            else:
+                shards.add(path.parent.name)
+        orphans = len(self._orphan_paths(max_age_seconds=None))
+        return {
+            "entries": len(paths),
+            "bytes": total,
+            "shards": len(shards),
+            "flat_entries": flat,
+            "tmp_orphans": orphans,
+            "byte_budget": self.byte_budget,
+        }
+
+    # ------------------------------------------------------------------
+    # Eviction / compaction / orphan cleanup.
+    # ------------------------------------------------------------------
+    def _orphan_paths(self, max_age_seconds: Optional[float]) -> list:
+        """Temp files (optionally: older than ``max_age_seconds``)."""
+        if not self.root.is_dir():
+            return []
+        candidates = list(self.root.glob("*.tmp"))
+        for shard in self.root.iterdir():
+            if shard.is_dir() and _SHARD_RE.match(shard.name):
+                candidates.extend(shard.glob("*.tmp"))
+        if max_age_seconds is None:
+            return sorted(candidates)
+        deadline = time.time() - max_age_seconds
+        stale = []
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= deadline:
+                    stale.append(path)
+            except OSError:
+                continue  # the writer finished (or another cleaner won)
+        return sorted(stale)
+
+    def clean_orphans(
+        self, max_age_seconds: float = ORPHAN_AGE_SECONDS
+    ) -> int:
+        """Remove stale ``*.tmp`` crash orphans; return how many.
+
+        A temp file younger than ``max_age_seconds`` may be another
+        process's write in flight and is left alone — pass ``0`` only
+        when no writer can be active (tests, offline compaction).
+        """
+        removed = 0
+        for path in self._orphan_paths(max_age_seconds):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if removed:
+            self.metrics.add("orphans_cleaned", removed)
+        return removed
+
+    def compact(self, byte_budget: Optional[int] = None) -> list:
+        """Evict least-recently-used entries until the budget holds.
+
+        ``byte_budget`` defaults to the store's own; with neither set
+        only orphan cleanup runs.  Recency is the entry file's mtime —
+        :meth:`save` writes it fresh and :meth:`load` bumps it, so "used"
+        means served, across processes.  Returns the evicted paths.
+        The store's own artifact cache directory is never touched: a
+        prover artifact miss is a recompute, priced separately.
+        """
+        self.clean_orphans()
+        budget = self.byte_budget if byte_budget is None else byte_budget
+        if budget is None:
+            return []
+        aged = []  # (mtime, size, path)
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        aged.sort()
+        evicted = []
+        for mtime, size, path in aged:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # concurrent eviction/replacement: already gone
+            total -= size
+            evicted.append(path)
+            self.metrics.add("evictions")
+            self.metrics.add("bytes_evicted", size)
+        return evicted
 
     # ------------------------------------------------------------------
     def save(self, report) -> Path:
@@ -145,6 +429,12 @@ class CertificateStore:
         else encoded here — and the structured report metadata rides
         along so :meth:`load` can hand back a fully populated
         :class:`~repro.api.results.CertificationReport`.
+
+        The write is atomic and concurrent-safe: the envelope goes to a
+        uniquely named ``*.tmp`` in the destination shard, then is
+        published with :func:`os.replace`.  A reader never sees a
+        partial entry; a crash mid-write leaves only a temp orphan for
+        :meth:`clean_orphans`.
         """
         if report.refused:
             raise StoreError("cannot store a refused report (no labeling)")
@@ -183,12 +473,28 @@ class CertificateStore:
             "location": encoded.location,
             "report": report.to_dict(),
         }
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(fingerprint, report.property_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         payload = STORE_MAGIC + pickle.dumps(manifest, protocol=4)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(payload)
-        tmp.replace(path)  # atomic publish: readers never see half a file
+        # Unique temp name: two concurrent writers of the same entry
+        # never share a temp file, so neither can publish the other's
+        # half-written bytes.  Deliberately matches the "*.tmp" orphan
+        # glob and not the "*.cert" entry glob.
+        tmp = path.parent / (
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER):x}.tmp"
+        )
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)  # atomic publish
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self.metrics.add("saves")
+        if self.byte_budget is not None:
+            self.compact()
         return path
 
     # ------------------------------------------------------------------
@@ -242,6 +548,7 @@ class CertificateStore:
         fingerprint: str,
         property_key: str,
         path: Optional[Path] = None,
+        decode: bool = True,
     ):
         """Rehydrate one entry as a ready-to-verify report.
 
@@ -253,23 +560,47 @@ class CertificateStore:
         immediately, with zero prover stages.  The stored graph is
         re-fingerprinted on load and must match both the requested and
         the recorded fingerprint.
+
+        ``decode=False`` skips decoding the per-edge certificates —
+        ``report.labeling`` stays ``None`` while ``report.encoded`` and
+        the report metadata are fully populated.  Decoding dominates
+        rehydration cost, so this is the fast path for callers that
+        serve the certificate without replaying the round (the service
+        layer's ``verify: false`` certify requests); completeness makes
+        that safe, and ``reverify`` replays the round on demand.
+
+        Flat-layout (pre-shard) entries are found and migrated into
+        their shard; serving an entry bumps its mtime, which is the
+        recency signal :meth:`compact` evicts against.
         """
-        path = path or self.path_for(fingerprint, property_key)
-        manifest = self._read(path)
+        path = path or self._locate(fingerprint, property_key)
+        try:
+            manifest = self._read(path)
+        except StoreError:
+            self.metrics.add("misses")
+            raise
         if manifest["property_key"] != property_key:
+            self.metrics.add("misses")
             raise StoreError(
                 f"{path} holds property {manifest['property_key']!r}, "
                 f"not {property_key!r}"
             )
         if manifest["fingerprint"] != fingerprint:
+            self.metrics.add("misses")
             raise StoreError(
                 f"{path} holds fingerprint "
                 f"{manifest['fingerprint'][:16]}..., caller asked for "
                 f"{fingerprint[:16]}..."
             )
-        return self._rehydrate(manifest, path)
+        report = self._rehydrate(manifest, path, decode=decode)
+        self.metrics.add("hits")
+        try:
+            os.utime(path)  # LRU recency bump (shared, cross-process)
+        except OSError:
+            pass  # read-only store: eviction recency degrades to save time
+        return report
 
-    def _rehydrate(self, manifest: dict, path: Path):
+    def _rehydrate(self, manifest: dict, path: Path, decode: bool = True):
         """Build the ready-to-verify report from a validated manifest."""
         from repro.api.pipeline import PipelineScheme
         from repro.api.results import CertificationReport
@@ -290,12 +621,14 @@ class CertificateStore:
             },
             location=manifest["location"],
         )
-        try:
-            labeling = encoded.decode()
-        except CodecError as exc:
-            raise StoreError(
-                f"corrupted certificate payload in {path}: {exc}"
-            ) from exc
+        labeling = None
+        if decode:
+            try:
+                labeling = encoded.decode()
+            except CodecError as exc:
+                raise StoreError(
+                    f"corrupted certificate payload in {path}: {exc}"
+                ) from exc
         algebra = manifest["algebra"]
         if algebra is None and manifest["algebra_key"] is not None:
             algebra = resolve_algebra(manifest["algebra_key"])

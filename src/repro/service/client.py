@@ -1,0 +1,183 @@
+"""Async client for the certification daemon.
+
+    client = await ServiceClient.connect(socket_path="/run/repro.sock")
+    response = await client.certify(graph, ["connected", "acyclic"], k=2)
+    response["result"]["served"]          # {'connected': 'store', ...}
+    await client.close()
+
+One :class:`ServiceClient` multiplexes any number of concurrent
+requests over a single connection: requests are tagged with
+monotonically increasing ids, a background reader task resolves each
+response to its waiter, and the daemon is free to answer out of order
+(it serves every request as its own task).  Methods return the decoded
+response envelope (``{"id", "ok", "result"|"error", "meta"}``);
+:func:`result_of` unwraps it, raising :class:`ServiceClientError` on
+``ok: false``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    graph_to_wire,
+)
+
+
+class ServiceClientError(RuntimeError):
+    """The daemon refused a request (``ok: false``) or went away."""
+
+
+def result_of(response: dict) -> dict:
+    """Unwrap a response envelope, raising on service-side errors."""
+    if not response.get("ok"):
+        raise ServiceClientError(response.get("error", "unknown error"))
+    return response["result"]
+
+
+class ServiceClient:
+    """One multiplexed JSON-lines connection to a running daemon."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._futures: dict = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+    ) -> "ServiceClient":
+        if socket_path is not None:
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+        elif port is not None:
+            reader, writer = await asyncio.open_connection(host, port)
+        else:
+            raise ValueError("need a TCP port or a unix socket path")
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = decode_line(line)
+                except ProtocolError:
+                    continue  # one garbled frame must not kill the rest
+                future = self._futures.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            self._fail_pending("connection closed by daemon")
+
+    def _fail_pending(self, reason: str) -> None:
+        for future in self._futures.values():
+            if not future.done():
+                future.set_exception(ServiceClientError(reason))
+        self._futures.clear()
+
+    # ------------------------------------------------------------------
+    async def request(self, op: str, **params) -> dict:
+        """Send one request and await its response envelope."""
+        self._next_id += 1
+        request_id = self._next_id
+        request = {"id": request_id, "op": op}
+        request.update(params)
+        future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_line(request))
+                await self._writer.drain()
+        except (ConnectionResetError, OSError) as exc:
+            self._futures.pop(request_id, None)
+            raise ServiceClientError(f"cannot reach daemon: {exc}") from exc
+        return await future
+
+    # Convenience wrappers, one per protocol op. ------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def certify(
+        self,
+        graph,
+        properties,
+        k: Optional[int] = None,
+        fresh: bool = False,
+        verify: bool = True,
+    ) -> dict:
+        params = {
+            "graph": graph_to_wire(graph),
+            "properties": properties,
+            "fresh": fresh,
+            "verify": verify,
+        }
+        if k is not None:
+            params["k"] = k
+        return await self.request("certify", **params)
+
+    async def reverify(self, fingerprint: str, property_key: str) -> dict:
+        return await self.request(
+            "reverify", fingerprint=fingerprint, property=property_key
+        )
+
+    async def audit(
+        self,
+        graph,
+        property_key: str,
+        k: Optional[int] = None,
+        trials: int = 3,
+        seed: int = 0,
+        attacks=("mutation",),
+    ) -> dict:
+        params = {
+            "graph": graph_to_wire(graph),
+            "property": property_key,
+            "trials": trials,
+            "seed": seed,
+            "attacks": list(attacks),
+        }
+        if k is not None:
+            params["k"] = k
+        return await self.request("audit", **params)
+
+    async def metrics(self) -> dict:
+        return await self.request("metrics")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Close the connection and stop the reader task."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, ServiceClientError):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+        self._fail_pending("client closed")
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

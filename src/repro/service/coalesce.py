@@ -1,0 +1,61 @@
+"""Request coalescing: identical concurrent requests share one job.
+
+A certification service's worst realistic load shape is a thundering
+herd: many clients asking for the *same* ``(graph fingerprint,
+property)`` at once — exactly the case where local certification is
+supposed to be cheap.  :class:`Coalescer` makes the herd cost one
+computation: the first request for a key starts the job; every
+concurrent duplicate awaits the same task and receives the same result
+object.  The key is content-derived (fingerprint, properties, k, ...),
+so coalescing can never conflate distinct work.
+
+The job runs as an independent :class:`asyncio.Task`: a waiter being
+cancelled (client disconnect) does not cancel the shared computation,
+and a job failure propagates the same exception to every waiter.  Keys
+deregister the moment the job finishes, so a *later* identical request
+starts fresh — coalescing is about concurrency, not caching (the store
+and artifact cache handle repetition over time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Tuple
+
+
+class Coalescer:
+    """In-flight deduplication keyed on hashable request identity."""
+
+    def __init__(self):
+        self._inflight: dict = {}  # key -> asyncio.Task
+
+    def __len__(self) -> int:
+        """Number of distinct jobs currently in flight."""
+        return len(self._inflight)
+
+    async def run(
+        self, key, factory: Callable[[], Awaitable]
+    ) -> Tuple[object, bool]:
+        """Await the job for ``key``, starting it only if absent.
+
+        Returns ``(result, coalesced)`` — ``coalesced`` is ``True`` when
+        this call piggybacked on a job another call started.  ``factory``
+        is only invoked for the first caller.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # shield: a cancelled waiter must not tear down the shared
+            # job other waiters (and the initiator) still depend on.
+            return await asyncio.shield(existing), True
+        task = asyncio.ensure_future(factory())
+        self._inflight[key] = task
+
+        def _deregister(done, key=key):
+            # Deregister exactly once, whatever the outcome — and only
+            # our own registration (a restarted key may own it by now).
+            # Waiters still hold the task reference and resolve fine.
+            if self._inflight.get(key) is done:
+                del self._inflight[key]
+
+        task.add_done_callback(_deregister)
+        return await asyncio.shield(task), False

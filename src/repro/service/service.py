@@ -1,0 +1,465 @@
+"""The asyncio certification front-end.
+
+:class:`CertificationService` is the long-running heart of
+``python -m repro.service``: it accepts decoded protocol requests
+(:mod:`repro.service.protocol`), coalesces identical concurrent work
+(:mod:`repro.service.coalesce`), and bridges the blocking certification
+machinery onto the event loop through a thread pool — each worker
+thread owns its own :class:`~repro.api.session.CertificationSession`
+(and, when configured, its own pool-resident
+:class:`~repro.api.prover.ParallelProver` /
+:class:`~repro.api.runtime.ParallelExecutor`), while all threads share
+one sharded :class:`~repro.api.store.CertificateStore` — the store's
+writes are atomic and its artifact cache is fingerprint-addressed, so
+concurrent writers are safe by construction.
+
+Request lifecycle (the shape ``docs/ARCHITECTURE.md`` § "The service
+layer" diagrams):
+
+1. the event loop parses the graph payload and computes its
+   fingerprint — the content identity everything downstream keys on;
+2. the coalescer either joins an identical in-flight job or starts a
+   new one;
+3. the job runs on a worker thread: certificate-store hit → load (+
+   optional re-verification round), miss → full plan-based
+   certification through the thread's session (which persists both the
+   certificate and the prover artifacts for the next request);
+4. the JSON report dictionaries stream back; metrics record latency,
+   coalescing, and hit/miss on the way out.
+
+The service object is transport-agnostic — the TCP/unix-socket daemon
+(:mod:`repro.service.daemon`) and in-process tests both drive
+:meth:`handle` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Optional
+
+from repro.api import (
+    AuditCase,
+    AuditPlan,
+    CertificateStore,
+    CertificationSession,
+    DropAttack,
+    MutationAttack,
+    ParallelExecutor,
+    ParallelProver,
+    StoreError,
+    SwapAttack,
+    VerificationEngine,
+)
+from repro.pls.model import Configuration
+
+from repro.service.coalesce import Coalescer
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    graph_from_wire,
+    ok_response,
+    validate_request,
+)
+
+#: Attack classes the ``audit`` op can mount by name.  The heavier,
+#: callback-parameterized attacks (transplant, graph edits with
+#: ``still_true`` oracles) need code, not JSON — audit those through
+#: :class:`~repro.api.audit.AuditPlan` directly.
+AUDIT_ATTACKS = {
+    "mutation": MutationAttack,
+    "swap": SwapAttack,
+    "drop": DropAttack,
+}
+
+
+class ServiceError(ValueError):
+    """A request the service understood but must refuse."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a daemon instance is parameterized by.
+
+    ``prover_workers`` / ``engine_workers`` of 0 keep proving and
+    verification serial *within* a request (requests still overlap
+    through ``worker_threads``); positive values give each worker
+    thread its own resident process pool of that size — the
+    PR 4/5 pool-resident dispatch, bridged behind the event loop.
+    """
+
+    store_root: Path
+    k: int = 2
+    exact_limit: Optional[int] = None
+    worker_threads: int = 2
+    prover_workers: int = 0
+    engine_workers: int = 0
+    byte_budget: Optional[int] = None
+    #: Seconds the daemon waits for in-flight requests on shutdown.
+    drain_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.worker_threads < 1:
+            raise ValueError("worker_threads must be positive")
+        if self.prover_workers < 0 or self.engine_workers < 0:
+            raise ValueError("pool worker counts cannot be negative")
+
+
+class CertificationService:
+    """Certify / reverify / audit over one store, concurrently."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        store: Optional[CertificateStore] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.store = store if store is not None else CertificateStore(
+            config.store_root, byte_budget=config.byte_budget
+        )
+        self.coalescer = Coalescer()
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.worker_threads,
+            thread_name_prefix="repro-service",
+        )
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._sessions: list = []  # every thread-local session (for stats)
+        self._closeables: list = []  # resident pools to close on shutdown
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Thread-local blocking machinery (created inside worker threads).
+    # ------------------------------------------------------------------
+    def _engine(self) -> VerificationEngine:
+        engine = getattr(self._tls, "engine", None)
+        if engine is None:
+            if self.config.engine_workers > 0:
+                executor = ParallelExecutor(
+                    max_workers=self.config.engine_workers
+                )
+                with self._lock:
+                    self._closeables.append(executor)
+            else:
+                executor = None
+            engine = VerificationEngine(executor)
+            self._tls.engine = engine
+        return engine
+
+    def _session_for(self, k: int) -> CertificationSession:
+        sessions = getattr(self._tls, "sessions", None)
+        if sessions is None:
+            sessions = self._tls.sessions = {}
+        session = sessions.get(k)
+        if session is None:
+            prover = None
+            if self.config.prover_workers > 0:
+                prover = ParallelProver(max_workers=self.config.prover_workers)
+            session = CertificationSession(
+                k=k,
+                exact_limit=self.config.exact_limit,
+                engine=self._engine(),
+                store=self.store,
+                prover=prover,
+            )
+            sessions[k] = session
+            with self._lock:
+                self._sessions.append(session)
+                if prover is not None:
+                    self._closeables.append(prover)
+        return session
+
+    # ------------------------------------------------------------------
+    # The async request surface.
+    # ------------------------------------------------------------------
+    async def handle(self, request: dict) -> dict:
+        """Serve one decoded request; always returns a response dict."""
+        began = perf_counter()
+        request_id = request.get("id")
+        op = request.get("op")
+        coalesced = False
+        try:
+            validate_request(request)
+            if self._closed:
+                raise ServiceError("service is shutting down")
+            self.metrics.request_started(op)
+        except ProtocolError as exc:
+            return error_response(request_id, str(exc))
+        except ServiceError as exc:
+            return error_response(request_id, str(exc))
+        try:
+            if op == "ping":
+                result = {"pong": True, "protocol_version": PROTOCOL_VERSION}
+            elif op == "metrics":
+                result = self.snapshot()
+            elif op == "shutdown":
+                # The daemon owns the lifecycle; it watches for this op
+                # and starts draining after the response is written.
+                result = {"stopping": True}
+            elif op == "certify":
+                result, coalesced = await self._certify(request)
+            elif op == "reverify":
+                result, coalesced = await self._reverify(request)
+            else:  # op == "audit"
+                result, coalesced = await self._audit(request)
+        except (ProtocolError, ServiceError, StoreError, ValueError) as exc:
+            latency = perf_counter() - began
+            self.metrics.request_failed(op, latency)
+            return error_response(
+                request_id, str(exc), latency_s=round(latency, 6)
+            )
+        latency = perf_counter() - began
+        self.metrics.request_completed(op, latency)
+        if coalesced:
+            self.metrics.coalesced()
+        return ok_response(
+            request_id,
+            result,
+            coalesced=coalesced,
+            latency_s=round(latency, 6),
+        )
+
+    # ------------------------------------------------------------------
+    def _properties_of(self, request: dict) -> list:
+        properties = request.get("properties")
+        if isinstance(properties, str):
+            properties = [properties]
+        if not isinstance(properties, list) or not properties:
+            raise ProtocolError(
+                "certify needs 'properties': a registry key or list of keys"
+            )
+        if not all(isinstance(p, str) for p in properties):
+            raise ProtocolError("property keys must be strings on the wire")
+        if len(set(properties)) != len(properties):
+            raise ProtocolError("duplicate property keys in one request")
+        return properties
+
+    async def _dispatch(self, key, job):
+        """Coalesce ``job`` (a blocking callable) under ``key``."""
+        loop = asyncio.get_running_loop()
+        return await self.coalescer.run(
+            key, lambda: loop.run_in_executor(self._pool, job)
+        )
+
+    async def _certify(self, request: dict):
+        if "graph" not in request:
+            raise ProtocolError("certify needs a 'graph' payload")
+        graph = graph_from_wire(request["graph"])
+        properties = self._properties_of(request)
+        k = int(request.get("k", self.config.k))
+        fresh = bool(request.get("fresh", False))
+        verify = bool(request.get("verify", True))
+        fingerprint = graph.fingerprint()
+        key = (
+            "certify",
+            fingerprint,
+            tuple(properties),
+            k,
+            fresh,
+            verify,
+        )
+        return await self._dispatch(
+            key,
+            lambda: self._certify_blocking(
+                graph, properties, k, fresh, verify, fingerprint
+            ),
+        )
+
+    def _certify_blocking(
+        self, graph, properties, k, fresh, verify, fingerprint
+    ) -> dict:
+        reports = {}
+        served = {}
+        missing = []
+        for prop in properties:
+            if not fresh and (fingerprint, prop) in self.store:
+                try:
+                    if verify:
+                        report = self.store.reverify(
+                            fingerprint, prop, engine=self._engine()
+                        )
+                    else:
+                        # Serving without the round: skip decoding the
+                        # per-edge certificates too — the report JSON
+                        # rides in the envelope, and decode dominates
+                        # rehydration cost.
+                        report = self.store.load(
+                            fingerprint, prop, decode=False
+                        )
+                    reports[prop] = report
+                    served[prop] = "store"
+                    self.metrics.store_served(True)
+                    continue
+                except StoreError:
+                    pass  # corrupt or raced-away entry: re-prove it
+            missing.append(prop)
+        if missing:
+            self.metrics.prover_run()
+            session = self._session_for(k)
+            for prop, report in session.certify(
+                graph, list(missing), verify=verify
+            ).items():
+                reports[prop] = report
+                served[prop] = "prover"
+                self.metrics.store_served(False)
+        return {
+            "fingerprint": fingerprint,
+            "served": served,
+            "reports": {
+                prop: reports[prop].to_dict() for prop in properties
+            },
+        }
+
+    async def _reverify(self, request: dict):
+        fingerprint = request.get("fingerprint")
+        prop = request.get("property")
+        if not isinstance(fingerprint, str) or not isinstance(prop, str):
+            raise ProtocolError(
+                "reverify needs string 'fingerprint' and 'property'"
+            )
+        key = ("reverify", fingerprint, prop)
+        return await self._dispatch(
+            key, lambda: self._reverify_blocking(fingerprint, prop)
+        )
+
+    def _reverify_blocking(self, fingerprint: str, prop: str) -> dict:
+        report = self.store.reverify(fingerprint, prop, engine=self._engine())
+        self.metrics.store_served(True)
+        return {
+            "fingerprint": fingerprint,
+            "served": {prop: "store"},
+            "reports": {prop: report.to_dict()},
+        }
+
+    async def _audit(self, request: dict):
+        if "graph" not in request:
+            raise ProtocolError("audit needs a 'graph' payload")
+        graph = graph_from_wire(request["graph"])
+        prop = request.get("property")
+        if not isinstance(prop, str):
+            raise ProtocolError("audit needs a string 'property'")
+        k = int(request.get("k", self.config.k))
+        trials = int(request.get("trials", 3))
+        seed = int(request.get("seed", 0))
+        # Specs normalize to hashable (name, per_case) pairs: the dict
+        # spelling must coalesce with its string shorthand.
+        specs = tuple(
+            self._normalize_spec(spec)
+            for spec in request.get("attacks", ("mutation",))
+        )
+        attacks = [self._attack_from_spec(spec) for spec in specs]
+        fingerprint = graph.fingerprint()
+        key = ("audit", fingerprint, prop, k, trials, seed, specs)
+        return await self._dispatch(
+            key,
+            lambda: self._audit_blocking(
+                graph, prop, k, trials, seed, attacks, fingerprint
+            ),
+        )
+
+    def _normalize_spec(self, spec):
+        if isinstance(spec, str):
+            return spec, 1
+        if isinstance(spec, dict):
+            try:
+                return spec.get("name"), int(spec.get("per_case", 1))
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed attack spec: {spec!r}"
+                ) from exc
+        raise ProtocolError(f"malformed attack spec: {spec!r}")
+
+    def _attack_from_spec(self, spec):
+        name, per_case = spec
+        factory = AUDIT_ATTACKS.get(name)
+        if factory is None:
+            raise ProtocolError(
+                f"unknown attack {name!r} (serveable attacks: "
+                f"{', '.join(sorted(AUDIT_ATTACKS))})"
+            )
+        return factory(per_case=per_case)
+
+    def _audit_blocking(
+        self, graph, prop, k, trials, seed, attacks, fingerprint
+    ) -> dict:
+        session = self._session_for(k)
+        self.metrics.prover_run()
+
+        def case_factory(trial, rng):
+            config = Configuration.with_random_ids(graph, rng)
+            report = session.certify(config, [prop], verify=False)[prop]
+            if report.refused:
+                raise ServiceError(
+                    f"cannot audit {prop!r}: the honest prover refused "
+                    f"({report.refusal})"
+                )
+            return AuditCase(report.config, report.scheme, report.labeling, trial)
+
+        plan = AuditPlan(
+            case_factory,
+            attacks,
+            trials=trials,
+            root_seed=seed,
+            name="service-audit",
+        )
+        report = plan.run()  # fail-fast serial: only the accept bit matters
+        return {"fingerprint": fingerprint, "audit": report.to_dict()}
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle.
+    # ------------------------------------------------------------------
+    def stage_counters(self) -> dict:
+        """Summed prover stage counters across every worker session."""
+        totals: dict = {}
+        with self._lock:
+            sessions = list(self._sessions)
+        for session in sessions:
+            for name, count in session.stage_counters.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def snapshot(self) -> dict:
+        """The ``metrics`` op's response body: every layer, one dict."""
+        snap = self.metrics.snapshot()
+        snap["protocol_version"] = PROTOCOL_VERSION
+        snap["store"] = self.store.stats()
+        snap["store_metrics"] = self.store.metrics.snapshot()
+        snap["stage_counters"] = self.stage_counters()
+        snap["coalescer_in_flight"] = len(self.coalescer)
+        return snap
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close_blocking(self) -> None:
+        """Drain worker threads and release every resident pool.
+
+        Idempotent.  New :meth:`handle` calls are refused the moment
+        this starts; jobs already on worker threads run to completion
+        (``ThreadPoolExecutor.shutdown(wait=True)``), then the
+        pool-resident provers/executors shut their worker processes
+        down — nothing leaks past this call.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        with self._lock:
+            closeables = list(self._closeables)
+            self._closeables.clear()
+        for resource in closeables:
+            resource.close()
+
+    async def close(self) -> None:
+        """Async wrapper over :meth:`close_blocking` (drains off-loop)."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.close_blocking)
