@@ -10,6 +10,9 @@ the serving matrix through the async :class:`repro.service.ServiceClient`:
   snapshot: ``prover_runs == 1``, ``coalesced_requests > 0``);
 * a warm repeat served from the sharded certificate store;
 * a ``reverify`` replaying the verification round from disk;
+* an ``update`` stream — bootstrap an incremental certification, then
+  recertify a relabel batch addressed by fingerprint (asserting zero
+  prover stages ran and the ``incremental`` metrics block moved);
 * a graceful ``shutdown``, after which the daemon flushes one final
   ``SERVICE_METRICS`` line and exits 0.
 
@@ -26,6 +29,7 @@ import tempfile
 from pathlib import Path
 
 from repro.experiments import lanewidth_workload
+from repro.graphs.generators import caterpillar_graph
 from repro.service import ServiceClient, result_of
 
 
@@ -93,10 +97,32 @@ async def drive(socket_path: str) -> None:
         print(f"reverify: round re-run on {verification['views_built']} "
               f"local views, accepted")
 
+        # -- an edit stream through the update op ----------------------
+        stream = caterpillar_graph(10, 2)
+        boot = result_of(await client.update(["connected"], graph=stream))
+        assert boot["baseline"]["accepted"], boot
+        print(f"update stream bootstrapped at {boot['fingerprint'][:16]}...")
+
+        evolved = result_of(
+            await client.update(
+                ["connected"],
+                fingerprint=boot["fingerprint"],
+                edits=[["set_vertex_label", 3, "hot"]],
+            )
+        )
+        body = evolved["update"]
+        assert body["accepted"] and body["mode"] == "region", body
+        assert body["stages_run"] == 0, body  # whole chain from cache
+        print(f"relabel batch: {body['mode']} round, "
+              f"{body['artifacts_reused']} artifacts reused, "
+              f"0 prover stages run")
+
         final = result_of(await client.metrics())
+        assert final["incremental"]["updates"] == 1, final
         print(f"store: {final['store']['entries']} entries in "
               f"{final['store']['shards']} shard(s), "
-              f"{final['store']['bytes']} bytes")
+              f"{final['store']['bytes']} bytes; "
+              f"incremental updates: {final['incremental']['updates']}")
 
         stopping = result_of(await client.shutdown())
         assert stopping["stopping"] is True

@@ -333,7 +333,9 @@ def config_fingerprint(config) -> str:
     the same graph with different identifier draws get distinct keys.
     """
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(config.graph.fingerprint().encode())
+    # Certification identity ("edges"): vertex labels never reach any
+    # stage, so label artifacts stay valid across vertex relabelings.
+    digest.update(config.graph.fingerprint("edges").encode())
     digest.update(b"\x00")
     for vertex, identifier in sorted(config.ids.items(), key=repr):
         digest.update(repr((vertex, identifier)).encode())

@@ -303,7 +303,7 @@ class CertificationSession:
             cached = self._sequence_keys.get(id(target))
             if cached is None:
                 graph = apply_construction(target)
-                cached = (target, graph.fingerprint(), graph)
+                cached = (target, graph.fingerprint("edges"), graph)
                 self._sequence_keys[id(target)] = cached
             _seq, fingerprint, graph = cached
             return (
@@ -311,13 +311,18 @@ class CertificationSession:
                 target,
                 fingerprint,
             )
+        # Plan artifacts key on the certification identity — vertices,
+        # edges, and edge labels (tags reach the certificates through
+        # the construction sequence), but *not* vertex labels, which no
+        # pipeline stage reads.  Vertex-relabeling therefore reuses the
+        # whole chain; the store keeps its own label-inclusive identity.
         if isinstance(target, Configuration):
-            return target, None, target.graph.fingerprint()
+            return target, None, target.graph.fingerprint("edges")
         # Bare graph.
         return (
             Configuration.with_random_ids(target, rng),
             None,
-            target.fingerprint(),
+            target.fingerprint("edges"),
         )
 
     def _plan_for(self, sequence, mode_key):

@@ -102,9 +102,22 @@ class StoreMetrics:
     successful publishes, ``evictions``/``bytes_evicted`` what
     :meth:`~CertificateStore.compact` removed, ``orphans_cleaned``
     stale temp files removed, and ``migrated`` flat-layout entries
-    moved into their shard.  :meth:`snapshot` returns a JSON-safe dict;
-    the service layer embeds it in its own metrics snapshot.
+    moved into their shard.  The incremental layer
+    (:mod:`repro.incremental`) records its reuse against the store that
+    backs it — :data:`INCREMENTAL_FIELDS`: ``updates`` edit batches
+    applied, ``bags_dirtied`` by their decomposition repairs,
+    ``artifacts_reused`` resolved from the artifact cache instead of
+    re-proven, and ``full_fallbacks`` (repairs that gave up and re-ran
+    the full search).  :meth:`snapshot` returns a JSON-safe dict; the
+    service layer embeds it in its own metrics snapshot.
     """
+
+    INCREMENTAL_FIELDS = (
+        "updates",
+        "bags_dirtied",
+        "artifacts_reused",
+        "full_fallbacks",
+    )
 
     FIELDS = (
         "hits",
@@ -114,7 +127,7 @@ class StoreMetrics:
         "bytes_evicted",
         "orphans_cleaned",
         "migrated",
-    )
+    ) + INCREMENTAL_FIELDS
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -328,6 +341,7 @@ class CertificateStore:
             else:
                 shards.add(path.parent.name)
         orphans = len(self._orphan_paths(max_age_seconds=None))
+        snapshot = self.metrics.snapshot()
         return {
             "entries": len(paths),
             "bytes": total,
@@ -335,6 +349,12 @@ class CertificateStore:
             "flat_entries": flat,
             "tmp_orphans": orphans,
             "byte_budget": self.byte_budget,
+            # Edit-stream accounting (repro.incremental) rides along so
+            # one stats() call answers "how much work did reuse save".
+            "incremental": {
+                name: snapshot[name]
+                for name in StoreMetrics.INCREMENTAL_FIELDS
+            },
         }
 
     # ------------------------------------------------------------------

@@ -40,12 +40,17 @@ class BitWriter:
             raise BitStreamError(
                 f"value {value} does not fit in {width} bits"
             )
-        self._acc = (self._acc << width) | value
-        self._acc_bits += width
-        while self._acc_bits >= 8:
-            self._acc_bits -= 8
-            self._bytes.append((self._acc >> self._acc_bits) & 0xFF)
-        self._acc &= (1 << self._acc_bits) - 1
+        acc = (self._acc << width) | value
+        bits = self._acc_bits + width
+        # Drain whole bytes in one C-level conversion: wide fields (the
+        # codec replays memoized multi-kilobit runs as single writes)
+        # would otherwise pay a quadratic python shift loop.
+        whole, rest = bits >> 3, bits & 7
+        if whole:
+            self._bytes += (acc >> rest).to_bytes(whole, "big")
+            acc &= (1 << rest) - 1
+        self._acc = acc
+        self._acc_bits = rest
 
     def write_flag(self, flag: bool) -> None:
         """Append a single bit."""

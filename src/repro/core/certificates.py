@@ -188,11 +188,23 @@ class CertificateBuilder:
         self.evaluation = evaluation
         self.indexer = indexer or ClassIndexer()
         self.algebra = evaluation.algebra
+        # Identity-keyed fingerprint cache for one build: evaluations
+        # hand back shared state objects, and hashing the canonical form
+        # dominates ``basic_info`` without it.  Values hold the state,
+        # so ids cannot be reused while the builder lives.
+        self._fingerprints: dict = {}
+
+    def _class_of(self, state) -> None:
+        hit = self._fingerprints.get(id(state))
+        if hit is None:
+            hit = (state, self.algebra.state_fingerprint(state))
+            self._fingerprints[id(state)] = hit
+        self.indexer.index_of(hit[1])
 
     # ------------------------------------------------------------------
     def basic_info(self, node: HierarchyNode, evaluation: NodeEvaluation) -> BasicInfo:
         state = evaluation.state
-        self.indexer.index_of(self.algebra.state_fingerprint(state))
+        self._class_of(state)
         return BasicInfo(
             kind=node.kind,
             node_id=node.node_id,
@@ -225,7 +237,7 @@ class CertificateBuilder:
             ),
             state=sub.state,
         )
-        self.indexer.index_of(self.algebra.state_fingerprint(sub.state))
+        self._class_of(sub.state)
         return info
 
     # ------------------------------------------------------------------
@@ -391,8 +403,25 @@ def basic_info_bits(info: BasicInfo, ctx: SizeContext, width: int) -> int:
     )
 
 
-def record_bits(record, ctx: SizeContext, width: int) -> int:
-    """Encoded size of one ownership-path record."""
+def record_bits(record, ctx: SizeContext, width: int, memo=None) -> int:
+    """Encoded size of one ownership-path record.
+
+    ``memo`` (optional) is an identity-keyed cache for one accounting
+    pass: prover stages share record objects across many stacks, so a
+    labeling-wide walk sizes each unique record once.  Values keep a
+    strong reference to their key object, so ``id`` reuse cannot alias.
+    """
+    if memo is not None:
+        key = (id(record), width)
+        hit = memo.get(key)
+        if hit is None:
+            hit = (record, _record_bits_direct(record, ctx, width))
+            memo[key] = hit
+        return hit[1]
+    return _record_bits_direct(record, ctx, width)
+
+
+def _record_bits_direct(record, ctx: SizeContext, width: int) -> int:
     if isinstance(record, TLevelRecord):
         total = basic_info_bits(record.info, ctx, width)
         total += basic_info_bits(record.member_info, ctx, width)
@@ -421,15 +450,32 @@ def record_bits(record, ctx: SizeContext, width: int) -> int:
     raise TypeError(f"unknown record type {type(record).__name__}")
 
 
-def certificate_bits(cert: EdgeCertificate, ctx: SizeContext, width: int) -> int:
+def certificate_bits(
+    cert: EdgeCertificate, ctx: SizeContext, width: int, memo=None
+) -> int:
     """Encoded size of one edge certificate."""
+    if memo is not None:
+        key = (id(cert), width)
+        hit = memo.get(key)
+        if hit is None:
+            hit = (
+                cert,
+                sum(
+                    record_bits(record, ctx, width, memo)
+                    for record in cert.stack
+                ),
+            )
+            memo[key] = hit
+        return hit[1]
     return sum(record_bits(record, ctx, width) for record in cert.stack)
 
 
-def label_bits(label: Theorem1Label, ctx: SizeContext, width: int) -> int:
+def label_bits(
+    label: Theorem1Label, ctx: SizeContext, width: int, memo=None
+) -> int:
     """Encoded size of one physical label (certificate + embeddings)."""
-    total = certificate_bits(label.certificate, ctx, width)
+    total = certificate_bits(label.certificate, ctx, width, memo)
     for record in label.embedded:
         total += 2 * ctx.id_bits + 2 * ctx.counter_bits
-        total += certificate_bits(record.payload, ctx, width)
+        total += certificate_bits(record.payload, ctx, width, memo)
     return total

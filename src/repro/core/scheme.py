@@ -73,7 +73,20 @@ class CertifyingScheme(ProofLabelingScheme):
         if not isinstance(label, Theorem1Label):
             return ctx.id_bits
         width = len(label.certificate.stack[0].info.lanes)
-        return label_bits(label, ctx, width)
+        # One accounting memo per size context: labels of one labeling
+        # share record objects heavily, and the report sizes the whole
+        # labeling back to back.  The memo is transient prover-side
+        # state, dropped on pickling like the rest (verifier_only).
+        memo = self.__dict__.get("_bits_memo")
+        if memo is None or memo[0] is not ctx:
+            memo = (ctx, {})
+            self.__dict__["_bits_memo"] = memo
+        return label_bits(label, ctx, width, memo[1])
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_bits_memo", None)
+        return state
 
     def verifier_only(self):
         """The verify/measure half without any prover-side state.

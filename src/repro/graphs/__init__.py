@@ -9,6 +9,12 @@ no third-party graph library is used by the algorithms themselves.
 from repro.graphs.graph import Graph, edge_key
 from repro.graphs.csr import CSRAdjacency
 from repro.graphs.degeneracy import degeneracy_ordering, orient_by_degeneracy
+from repro.graphs.edits import (
+    Edit,
+    EditBatch,
+    EditError,
+    apply_edits,
+)
 from repro.graphs.minors import (
     contains_minor,
     is_minor_free,
@@ -21,6 +27,10 @@ __all__ = [
     "CSRAdjacency",
     "degeneracy_ordering",
     "orient_by_degeneracy",
+    "Edit",
+    "EditBatch",
+    "EditError",
+    "apply_edits",
     "contains_minor",
     "is_minor_free",
     "find_minor_model",

@@ -520,6 +520,15 @@ class Graph:
         matches the bare ``(V, E)`` identity used by the lanewidth
         prover's configuration check.
 
+        ``include_labels="edges"`` hashes the edge labels but not the
+        vertex labels: it is the *certification identity* used to key
+        plan-DAG artifacts.  The Theorem 1 pipeline threads edge labels
+        into the construction sequence as tags (they end up inside the
+        certificates), while vertex labels never enter any stage — two
+        graphs that differ only in vertex labels certify to bit-identical
+        labelings, and the incremental layer leans on exactly that to
+        reuse every artifact across vertex-relabeling edit batches.
+
         The structural half of the hash lives on the CSR snapshot
         (:meth:`CSRAdjacency.fingerprint_base`) and the final string is
         memoized per ``(snapshot, labels_version)``, so repeated calls —
@@ -538,10 +547,11 @@ class Graph:
             return cached[2]
         digest = csr.fingerprint_base().copy()
         if include_labels:
-            digest.update(b"\x02")
-            for v, label in sorted(self._vertex_labels.items(), key=repr):
-                digest.update(repr((v, label)).encode())
-                digest.update(b"\x00")
+            if include_labels != "edges":
+                digest.update(b"\x02")
+                for v, label in sorted(self._vertex_labels.items(), key=repr):
+                    digest.update(repr((v, label)).encode())
+                    digest.update(b"\x00")
             digest.update(b"\x03")
             for key, label in sorted(self._edge_labels.items(), key=repr):
                 digest.update(repr((key, label)).encode())

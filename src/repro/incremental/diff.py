@@ -1,0 +1,223 @@
+"""Structural diff: map an edit batch to dirty bags and repair locally.
+
+The cached path decomposition is the expensive structural artifact — at
+production sizes the witness search dominates cold certification.  Most
+single edits barely perturb it:
+
+* ``remove_edge`` never invalidates a decomposition: (P1) only loses an
+  obligation and (P2) is untouched.  The bags that covered the edge are
+  dirty (their certificates change); the bag *sequence* survives.
+* ``add_edge {u, v}`` is free when some bag already contains both
+  endpoints — (P1) is satisfied as-is.  Otherwise the endpoints'
+  intervals are disjoint (by (P2), overlapping intervals share a bag),
+  and the repair extends the cheaper endpoint's interval across the gap
+  so one bag contains both.  Every extended bag grows by one vertex, so
+  the width bound ``k`` is checked bag by bag.
+* Label edits dirty the covering bags' certificates (edge labels ride
+  the construction sequence as tags) but never the bag sequence; vertex
+  labels dirty nothing at all — no pipeline stage reads them.
+
+When the repair cannot hold the width bound, or the dirty region
+exceeds ``max_dirty_fraction`` of the bags (a repaired-but-mostly-dirty
+decomposition reuses nothing and may have drifted far from optimal),
+the result is a **fallback**: the caller re-runs the full decomposition
+search.  The escape hatch is part of the contract — soundness never
+depends on the repair, only the amount of reused work does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.graphs import Graph
+from repro.graphs.edits import EditBatch
+from repro.pathwidth.path_decomposition import PathDecomposition
+
+#: Dirty fraction beyond which repairing is pointless (see module doc).
+DEFAULT_MAX_DIRTY_FRACTION = 0.25
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one repair attempt.
+
+    ``decomposition`` is a decomposition *of the edited graph* when the
+    repair succeeded, else ``None`` and ``fallback`` explains why the
+    caller must re-run the full search.  ``dirty_bags`` indexes the bags
+    whose covered certificates the batch may have changed (on fallback:
+    every bag).
+    """
+
+    decomposition: Optional[PathDecomposition]
+    dirty_bags: Tuple[int, ...]
+    fallback: bool = False
+    reason: str = ""
+    extended_bags: int = 0
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self.dirty_bags)
+
+
+@dataclass
+class _Bags:
+    """Mutable bag sequence with vertex-interval bookkeeping."""
+
+    bags: list  # list[set]
+    intervals: dict = field(default_factory=dict)  # vertex -> [lo, hi]
+
+    @classmethod
+    def of(cls, decomposition: PathDecomposition) -> "_Bags":
+        bags = [set(bag) for bag in decomposition.bags]
+        state = cls(bags)
+        for index, bag in enumerate(bags):
+            for v in bag:
+                interval = state.intervals.get(v)
+                if interval is None:
+                    state.intervals[v] = [index, index]
+                else:
+                    interval[1] = index
+        return state
+
+    def covering(self, u, v) -> list:
+        """Indices of bags containing both ``u`` and ``v``."""
+        iu, iv = self.intervals.get(u), self.intervals.get(v)
+        if iu is None or iv is None:
+            return []
+        lo, hi = max(iu[0], iv[0]), min(iu[1], iv[1])
+        return [
+            i
+            for i in range(lo, hi + 1)
+            if u in self.bags[i] and v in self.bags[i]
+        ]
+
+    def holding(self, v) -> list:
+        """Indices of bags containing ``v``."""
+        interval = self.intervals.get(v)
+        if interval is None:
+            return []
+        return [
+            i
+            for i in range(interval[0], interval[1] + 1)
+            if v in self.bags[i]
+        ]
+
+    def extend(self, vertex, bag_indices) -> None:
+        """Add ``vertex`` to a contiguous run of bags."""
+        for index in bag_indices:
+            self.bags[index].add(vertex)
+        interval = self.intervals[vertex]
+        interval[0] = min(interval[0], min(bag_indices))
+        interval[1] = max(interval[1], max(bag_indices))
+
+
+def repair_decomposition(
+    decomposition: PathDecomposition,
+    new_graph: Graph,
+    batch: EditBatch,
+    k: int,
+    max_dirty_fraction: float = DEFAULT_MAX_DIRTY_FRACTION,
+) -> RepairResult:
+    """Repair ``decomposition`` into one for ``new_graph`` after ``batch``.
+
+    ``new_graph`` must be the result of applying ``batch`` to the graph
+    ``decomposition`` was built for.  Returns a :class:`RepairResult`;
+    on success the decomposition is constructed without re-validation
+    (the repair rules preserve (P1)/(P2) by construction — the
+    equivalence suite cross-checks with ``validate()``).
+    """
+    total = len(decomposition.bags)
+    if total == 0:
+        return RepairResult(None, (), fallback=True, reason="empty")
+    state = _Bags.of(decomposition)
+    dirty: set = set()
+    extended = 0
+
+    for edit in batch:
+        if edit.kind == "remove_edge":
+            dirty.update(state.covering(edit.u, edit.v))
+        elif edit.kind == "set_edge_label":
+            dirty.update(state.covering(edit.u, edit.v))
+        elif edit.kind == "set_vertex_label":
+            continue  # no stage reads vertex labels; nothing dirties
+        elif edit.kind == "add_edge":
+            u, v = edit.u, edit.v
+            covered = state.covering(u, v)
+            if covered:
+                dirty.update(covered)
+                continue
+            iu, iv = state.intervals.get(u), state.intervals.get(v)
+            if iu is None or iv is None:
+                return RepairResult(
+                    None,
+                    tuple(range(total)),
+                    fallback=True,
+                    reason="endpoint missing from bags",
+                )
+            # Disjoint intervals (overlap would share a bag by (P2)).
+            # Bridge the gap by walking the nearer endpoint across.
+            if iu[0] > iv[1]:
+                u, v, iu, iv = v, u, iv, iu
+            span = range(iu[1] + 1, iv[0] + 1)
+            if any(len(state.bags[i]) + 1 > k + 1 for i in span):
+                return RepairResult(
+                    None,
+                    tuple(range(total)),
+                    fallback=True,
+                    reason=f"width would exceed k={k}",
+                )
+            state.extend(u, span)
+            extended += len(span)
+            dirty.update(span)
+        else:  # pragma: no cover - EDIT_KINDS is closed
+            return RepairResult(
+                None,
+                tuple(range(total)),
+                fallback=True,
+                reason=f"unknown edit kind {edit.kind!r}",
+            )
+
+    if len(dirty) > max_dirty_fraction * total:
+        # Policy fallback: the repair *succeeded* structurally, but so
+        # much is dirty that rebuilding every certificate from scratch
+        # is the better deal.  Keep the repaired bags — they are still
+        # the valid witness the rebuild should run over.
+        return RepairResult(
+            PathDecomposition(new_graph, state.bags, validate=False),
+            tuple(sorted(dirty)),
+            fallback=True,
+            reason=(
+                f"dirty region {len(dirty)}/{total} exceeds "
+                f"max_dirty_fraction={max_dirty_fraction}"
+            ),
+            extended_bags=extended,
+        )
+    repaired = PathDecomposition(new_graph, state.bags, validate=False)
+    return RepairResult(
+        repaired,
+        tuple(sorted(dirty)),
+        extended_bags=extended,
+    )
+
+
+def witness_decomposer(decomposition: PathDecomposition):
+    """Wrap a known decomposition as a plan-cacheable decomposer.
+
+    The ``cache_key`` digests the *bag contents*, so two different
+    repairs of the same graph can never collide in the artifact cache —
+    the fingerprint chain stays honest about what was decomposed how.
+    """
+    import hashlib
+
+    bags = [tuple(bag) for bag in decomposition.bags]
+    digest = hashlib.blake2b(digest_size=12)
+    for bag in bags:
+        digest.update(repr(bag).encode())
+        digest.update(b"\x00")
+
+    def decompose(graph: Graph) -> PathDecomposition:
+        return PathDecomposition(graph, bags, validate=False)
+
+    decompose.cache_key = "bags:" + digest.hexdigest()
+    return decompose

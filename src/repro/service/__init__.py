@@ -6,8 +6,9 @@ pool-resident prover/executor) were all single-process and blocking.
 This package is the serving tier on top of them:
 
 * :mod:`repro.service.protocol` — newline-delimited JSON wire protocol
-  (requests: certify / reverify / audit / metrics / ping / shutdown);
-  the response bodies are the PR 2/3 report JSON round-trips;
+  (requests: certify / reverify / audit / update / metrics / ping /
+  shutdown); the response bodies are the PR 2/3 report JSON round-trips,
+  and ``update`` serves edit streams through :mod:`repro.incremental`;
 * :mod:`repro.service.service` — :class:`CertificationService`, the
   asyncio front-end: request coalescing, store-hit fast path, executor
   bridge onto thread-local sessions with resident process pools;

@@ -155,6 +155,38 @@ class ServiceClient:
             params["k"] = k
         return await self.request("audit", **params)
 
+    async def update(
+        self,
+        properties,
+        graph=None,
+        fingerprint: Optional[str] = None,
+        edits=None,
+        k: Optional[int] = None,
+        force_full: bool = False,
+        full_round_every: Optional[int] = None,
+    ) -> dict:
+        """Bootstrap (``graph=``) or evolve (``fingerprint=`` + edits)
+        an incremental certification stream.
+
+        ``edits`` is an :class:`~repro.graphs.edits.EditBatch` or an
+        already-wire-form list.  The response's
+        ``result["fingerprint"]`` addresses the evolved state.
+        """
+        params = {"properties": properties, "force_full": force_full}
+        if graph is not None:
+            params["graph"] = graph_to_wire(graph)
+        if fingerprint is not None:
+            params["fingerprint"] = fingerprint
+        if edits is not None:
+            params["edits"] = (
+                edits.to_wire() if hasattr(edits, "to_wire") else list(edits)
+            )
+        if k is not None:
+            params["k"] = k
+        if full_round_every is not None:
+            params["full_round_every"] = full_round_every
+        return await self.request("update", **params)
+
     async def metrics(self) -> dict:
         return await self.request("metrics")
 

@@ -94,6 +94,11 @@ class ServiceMetrics:
     * ``store_hits`` / ``store_misses`` — certify requests served from
       the certificate store vs proven fresh (the serving-layer view;
       the store object keeps its own lower-level counters);
+    * incremental counters (the ``update`` op): ``updates`` applied,
+      ``bags_dirtied`` across their decomposition repairs,
+      ``artifacts_reused`` from the plan DAG instead of re-run, and
+      ``full_fallbacks`` — updates whose repair gave up and re-ran the
+      full decomposition search;
     * per-op latency histograms.
     """
 
@@ -108,6 +113,10 @@ class ServiceMetrics:
         self.prover_runs = 0
         self.store_hits = 0
         self.store_misses = 0
+        self.updates = 0
+        self.bags_dirtied = 0
+        self.artifacts_reused = 0
+        self.full_fallbacks = 0
         self._latency: dict = {}  # op -> LatencyHistogram
 
     # ------------------------------------------------------------------
@@ -151,6 +160,20 @@ class ServiceMetrics:
             else:
                 self.store_misses += 1
 
+    def incremental_update(
+        self,
+        bags_dirtied: int = 0,
+        artifacts_reused: int = 0,
+        fallback: bool = False,
+    ) -> None:
+        """Record one applied edit batch (the ``update`` op)."""
+        with self._lock:
+            self.updates += 1
+            self.bags_dirtied += bags_dirtied
+            self.artifacts_reused += artifacts_reused
+            if fallback:
+                self.full_fallbacks += 1
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """One JSON-safe dict of everything above."""
@@ -165,6 +188,12 @@ class ServiceMetrics:
                 "prover_runs": self.prover_runs,
                 "store_hits": self.store_hits,
                 "store_misses": self.store_misses,
+                "incremental": {
+                    "updates": self.updates,
+                    "bags_dirtied": self.bags_dirtied,
+                    "artifacts_reused": self.artifacts_reused,
+                    "full_fallbacks": self.full_fallbacks,
+                },
                 "latency": {
                     op: histogram.snapshot()
                     for op, histogram in sorted(self._latency.items())

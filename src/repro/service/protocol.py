@@ -26,8 +26,18 @@ Every request is ``{"id": <any JSON scalar>, "op": <str>, ...params}``:
     ``graph``, ``property``, optional ``k``/``trials``/``seed``/
     ``attacks`` (names from :data:`AUDIT_ATTACKS`) — a soundness
     campaign against a freshly proven honest labeling.
+``update``
+    Edit-stream recertification (:mod:`repro.incremental`).  Bootstrap
+    with ``graph`` (+ ``properties``, optional ``k`` /
+    ``full_round_every``); evolve with ``fingerprint`` (the previous
+    response's ``result["fingerprint"]``) + non-empty ``edits`` (wire
+    form of :meth:`~repro.graphs.edits.EditBatch.to_wire`), optional
+    ``force_full`` to escalate the round.  The response's new
+    ``fingerprint`` addresses the evolved state for the next update.
 ``metrics``
-    Service + store counters as one JSON snapshot.
+    Service + store counters as one JSON snapshot (including the
+    incremental ``updates`` / ``bags_dirtied`` / ``artifacts_reused`` /
+    ``full_fallbacks`` counters).
 ``shutdown``
     Ask the daemon to drain and exit (responds before exiting).
 
@@ -55,7 +65,15 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
 #: Request operations the service understands.
-OPS = ("ping", "certify", "reverify", "audit", "metrics", "shutdown")
+OPS = (
+    "ping",
+    "certify",
+    "reverify",
+    "audit",
+    "update",
+    "metrics",
+    "shutdown",
+)
 
 
 class ProtocolError(ValueError):

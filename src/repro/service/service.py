@@ -55,6 +55,8 @@ from repro.api import (
     SwapAttack,
     VerificationEngine,
 )
+from repro.graphs.edits import EditBatch, EditError
+from repro.incremental import IncrementalCertifier
 from repro.pls.model import Configuration
 
 from repro.service.coalesce import Coalescer
@@ -134,6 +136,12 @@ class CertificationService:
         self._lock = threading.Lock()
         self._sessions: list = []  # every thread-local session (for stats)
         self._closeables: list = []  # resident pools to close on shutdown
+        #: (fingerprint, properties, k) -> (stream lock, certifier).
+        #: Each edit stream owns its certifier (and that certifier its
+        #: session — never shared with a thread-local certify session);
+        #: the stream lock serializes updates, and the entry is re-keyed
+        #: to the evolved fingerprint after every applied batch.
+        self._incremental: dict = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -208,6 +216,8 @@ class CertificationService:
                 result, coalesced = await self._certify(request)
             elif op == "reverify":
                 result, coalesced = await self._reverify(request)
+            elif op == "update":
+                result, coalesced = await self._update(request)
             else:  # op == "audit"
                 result, coalesced = await self._audit(request)
         except (ProtocolError, ServiceError, StoreError, ValueError) as exc:
@@ -337,6 +347,121 @@ class CertificationService:
             "fingerprint": fingerprint,
             "served": {prop: "store"},
             "reports": {prop: report.to_dict()},
+        }
+
+    async def _update(self, request: dict):
+        properties = self._properties_of(request)
+        k = int(request.get("k", self.config.k))
+        force_full = bool(request.get("force_full", False))
+        full_round_every = int(request.get("full_round_every", 0))
+        edits_wire = request.get("edits", [])
+        if not isinstance(edits_wire, list):
+            raise ProtocolError("'edits' must be a list of wire edits")
+        try:
+            batch = EditBatch.from_wire(edits_wire) if edits_wire else None
+        except EditError as exc:
+            raise ProtocolError(f"malformed edits: {exc}") from exc
+        graph = None
+        if "graph" in request:
+            graph = graph_from_wire(request["graph"])
+            fingerprint = graph.fingerprint()
+        else:
+            fingerprint = request.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                raise ProtocolError(
+                    "update needs a 'graph' payload (bootstrap) or the "
+                    "previous response's 'fingerprint'"
+                )
+            if batch is None:
+                raise ProtocolError(
+                    "update addressed by fingerprint needs non-empty 'edits'"
+                )
+        # The canonical wire form (not the raw payload) keys coalescing,
+        # so equivalent spellings of one batch join the same job.
+        edits_key = repr(batch.to_wire()) if batch is not None else ""
+        key = (
+            "update",
+            fingerprint,
+            tuple(properties),
+            k,
+            edits_key,
+            force_full,
+        )
+        return await self._dispatch(
+            key,
+            lambda: self._update_blocking(
+                graph, fingerprint, batch, properties, k,
+                force_full, full_round_every,
+            ),
+        )
+
+    def _update_blocking(
+        self, graph, fingerprint, batch, properties, k,
+        force_full, full_round_every,
+    ) -> dict:
+        registry_key = (fingerprint, tuple(properties), k)
+        with self._lock:
+            entry = self._incremental.get(registry_key)
+            if entry is None:
+                if graph is None:
+                    raise ServiceError(
+                        f"no incremental state for fingerprint "
+                        f"{fingerprint!r} with these properties and k={k} "
+                        "(bootstrap with a 'graph' payload first)"
+                    )
+                certifier = IncrementalCertifier(
+                    graph,
+                    list(properties),
+                    k=k,
+                    session=CertificationSession(
+                        k=k,
+                        exact_limit=self.config.exact_limit,
+                        store=self.store,
+                    ),
+                    full_round_every=full_round_every,
+                )
+                entry = (threading.Lock(), certifier)
+                self._incremental[registry_key] = entry
+        stream_lock, certifier = entry
+        with stream_lock:
+            if certifier.graph.fingerprint() != fingerprint:
+                # A concurrent non-identical update evolved this stream
+                # first; the caller's address is one state behind.
+                raise ServiceError(
+                    f"stale fingerprint {fingerprint!r}: the stream has "
+                    "already evolved past it (re-address with the latest "
+                    "response's fingerprint)"
+                )
+            baseline = None
+            if not certifier.baselined:
+                self.metrics.prover_run()
+                baseline = certifier.baseline()
+            update = None
+            if batch is not None:
+                update = certifier.update(batch, force_full=force_full)
+                self.metrics.incremental_update(
+                    bags_dirtied=(
+                        0 if update.repair.fallback
+                        else update.repair.dirty_count
+                    ),
+                    artifacts_reused=update.artifacts_reused,
+                    fallback=update.repair.fallback,
+                )
+                new_key = (
+                    update.fingerprint, tuple(properties), k,
+                )
+                with self._lock:
+                    if self._incremental.get(registry_key) is entry:
+                        del self._incremental[registry_key]
+                    self._incremental[new_key] = entry
+        return {
+            "fingerprint": certifier.graph.fingerprint(),
+            "base_fingerprint": fingerprint,
+            "properties": list(properties),
+            "k": k,
+            "baseline": baseline.to_dict() if baseline is not None else None,
+            "update": update.to_dict() if update is not None else None,
+            "metrics": certifier.metrics.to_dict(),
         }
 
     async def _audit(self, request: dict):

@@ -1,0 +1,828 @@
+"""Tests for edit-batch recertification (repro.incremental + graph edits).
+
+The acceptance contract of the incremental subsystem:
+
+* **strict edits** — batches are declarative, canonical on the wire,
+  and all-or-nothing against the base graph;
+* **repair validity** — a non-fallback repair is a valid path
+  decomposition of the edited graph within the width bound (hypothesis
+  property over random graphs and edit streams), and the fallback
+  reasons fire exactly when promised;
+* **incremental ≡ cold** — after any stream of edit batches, the
+  incremental report matches a cold certification of the evolved graph
+  over the same witness bags: verdict, measured encoded bits, class
+  counts — including through the fallback path;
+* **region ≡ full** — the dirty-region verdict equals the full-round
+  verdict on honest updates, and rejects forged/stale certificates in
+  the dirty region exactly like a full round (AuditPlan campaign);
+* **observability** — certifier/store/service counters (updates,
+  bags_dirtied, artifacts_reused, full_fallbacks) stay truthful.
+"""
+
+import asyncio
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AdversarialInstance,
+    AuditAttack,
+    AuditCase,
+    AuditPlan,
+    CertificationSession,
+    MutationAttack,
+    VerificationEngine,
+)
+from repro.graphs import Edit, EditBatch, EditError, apply_edits
+from repro.graphs.edits import (
+    add_edge,
+    remove_edge,
+    set_edge_label,
+    set_vertex_label,
+)
+from repro.graphs.generators import (
+    caterpillar_graph,
+    path_graph,
+    random_pathwidth_graph,
+)
+from repro.incremental import (
+    DirtyRegionExecutor,
+    IncrementalCertifier,
+    repair_decomposition,
+    witness_decomposer,
+)
+from repro.pathwidth import PathDecomposition
+from repro.pls.model import Configuration
+from repro.service import CertificationService, ServiceConfig, graph_to_wire
+
+
+# ----------------------------------------------------------------------
+# Shared builders.
+# ----------------------------------------------------------------------
+def _instance(n, k, seed):
+    """A random pathwidth-<=k graph plus its witness decomposition."""
+    graph, bags = random_pathwidth_graph(n, k, random.Random(seed))
+    return graph, PathDecomposition(graph, bags)
+
+
+def _certifier(graph, decomposition, k=2, properties=("connected",), **kw):
+    return IncrementalCertifier(
+        graph,
+        list(properties),
+        k=k,
+        decomposer=witness_decomposer(decomposition),
+        rng=random.Random(7),
+        **kw,
+    )
+
+
+def _still_connected(graph, u, v):
+    probe = graph.copy()
+    probe.remove_edge(u, v)
+    return probe.is_connected()
+
+
+def _random_batch(graph, rng, size=None, structural_ok=True):
+    """One applicable batch drawn against the *current* graph state."""
+    edits = []
+    state = graph.copy()
+    for _ in range(size or rng.randint(1, 3)):
+        kinds = ["set_vertex_label"]
+        edges = sorted(state.edges(), key=repr)
+        if structural_ok and edges:
+            kinds.append("remove_edge")
+            kinds.append("set_edge_label")
+        vertices = sorted(state.vertices())
+        spare = [
+            (u, v)
+            for i, u in enumerate(vertices)
+            for v in vertices[i + 1:]
+            if not state.has_edge(u, v)
+        ]
+        if structural_ok and spare:
+            kinds.append("add_edge")
+        kind = rng.choice(kinds)
+        if kind == "add_edge":
+            u, v = rng.choice(spare)
+            edits.append(add_edge(u, v))
+            state.add_edge(u, v)
+        elif kind == "remove_edge":
+            u, v = rng.choice(edges)
+            edits.append(remove_edge(u, v))
+            state.remove_edge(u, v)
+        elif kind == "set_edge_label":
+            u, v = rng.choice(edges)
+            edits.append(set_edge_label(u, v, rng.randint(0, 5)))
+            state.set_edge_label(u, v, rng.randint(0, 5))
+        else:
+            v = rng.choice(vertices)
+            edits.append(set_vertex_label(v, rng.randint(0, 5)))
+            state.set_vertex_label(v, rng.randint(0, 5))
+    return EditBatch(edits)
+
+
+# ----------------------------------------------------------------------
+# Edits: validation, wire form, strict application.
+# ----------------------------------------------------------------------
+class TestEdits:
+    def test_kind_validation(self):
+        with pytest.raises(EditError):
+            Edit("grow_vertex", 1, 2)
+        with pytest.raises(EditError):
+            Edit("add_edge", 1)  # needs both endpoints
+
+    def test_wire_roundtrip(self):
+        batch = EditBatch(
+            [
+                add_edge(1, 2),
+                add_edge(3, 4, label="t"),
+                remove_edge(5, 6),
+                set_vertex_label(7, "m"),
+                set_edge_label(8, 9, 2),
+            ]
+        )
+        assert EditBatch.from_wire(batch.to_wire()) == batch
+        assert batch.to_wire()[1] == ["add_edge", 3, 4, "t"]
+
+    def test_malformed_wire(self):
+        with pytest.raises(EditError):
+            EditBatch.from_wire([["add_edge", 1]])
+        with pytest.raises(EditError):
+            EditBatch.from_wire([["set_vertex_label", 1]])
+        with pytest.raises(EditError):
+            EditBatch.from_wire("not-a-list")
+
+    def test_classification(self):
+        batch = EditBatch([add_edge(1, 2), set_vertex_label(3, "x")])
+        assert [e.kind for e in batch.structural()] == ["add_edge"]
+        assert not batch.vertex_labels_only()
+        assert not batch.relabels_edges()
+        assert EditBatch([add_edge(1, 2, label="t")]).relabels_edges()
+        labels = EditBatch([set_vertex_label(1, "a"), set_vertex_label(2, "b")])
+        assert labels.vertex_labels_only()
+        assert batch.touched_vertices() == {1, 2, 3}
+
+    def test_apply_is_strict_and_copying(self):
+        graph = path_graph(4)
+        with pytest.raises(EditError, match="already present"):
+            apply_edits(graph, EditBatch([add_edge(0, 1)]))
+        with pytest.raises(EditError, match="not in graph"):
+            apply_edits(graph, EditBatch([remove_edge(0, 2)]))
+        with pytest.raises(EditError, match="endpoint"):
+            apply_edits(graph, EditBatch([add_edge(0, 99)]))
+        with pytest.raises(EditError, match="self-loop"):
+            apply_edits(graph, EditBatch([add_edge(2, 2)]))
+        # All-or-nothing: the valid prefix must not leak onto the base.
+        batch = EditBatch([add_edge(0, 2), remove_edge(0, 9)])
+        with pytest.raises(EditError, match="edit #1"):
+            apply_edits(graph, batch)
+        assert not graph.has_edge(0, 2)
+
+    def test_apply_order_within_batch(self):
+        graph = path_graph(4)
+        out = apply_edits(
+            graph, EditBatch([add_edge(0, 2), set_edge_label(0, 2, "new")])
+        )
+        assert out.edge_label(0, 2) == "new"
+        assert not graph.has_edge(0, 2)  # base untouched
+
+
+# ----------------------------------------------------------------------
+# Decomposition repair.
+# ----------------------------------------------------------------------
+class TestRepair:
+    def test_remove_edge_never_falls_back(self):
+        graph, decomposition = _instance(20, 2, seed=3)
+        u, v = sorted(graph.edges(), key=repr)[0]
+        batch = EditBatch([remove_edge(u, v)])
+        new_graph = apply_edits(graph, batch)
+        result = repair_decomposition(decomposition, new_graph, batch, 2)
+        assert not result.fallback
+        assert result.dirty_bags  # the covering bags are dirty
+        result.decomposition.validate()
+
+    def test_vertex_labels_dirty_nothing(self):
+        graph, decomposition = _instance(16, 2, seed=4)
+        batch = EditBatch([set_vertex_label(3, "m"), set_vertex_label(5, "n")])
+        new_graph = apply_edits(graph, batch)
+        result = repair_decomposition(decomposition, new_graph, batch, 2)
+        assert not result.fallback
+        assert result.dirty_bags == ()
+
+    def test_add_edge_covered_is_free(self):
+        # A path's decomposition has a bag per edge; adding an edge
+        # whose endpoints share a bag must not extend anything.
+        graph = path_graph(6)
+        bags = [[i, i + 1] for i in range(5)]
+        decomposition = PathDecomposition(graph, bags)
+        graph2 = graph.copy()
+        graph2.remove_edge(2, 3)
+        decomp2 = PathDecomposition(graph2, bags)
+        batch = EditBatch([add_edge(2, 3)])
+        result = repair_decomposition(decomp2, graph, batch, 1)
+        assert not result.fallback and result.extended_bags == 0
+
+    def test_add_edge_bridges_disjoint_intervals(self):
+        graph = path_graph(6)
+        bags = [[i, i + 1] for i in range(5)]
+        decomposition = PathDecomposition(graph, bags)
+        batch = EditBatch([add_edge(0, 5)])
+        new_graph = apply_edits(graph, batch)
+        # k=1 cannot absorb a third vertex per bag: must fall back.
+        tight = repair_decomposition(decomposition, new_graph, batch, 1)
+        assert tight.fallback and "width" in tight.reason
+        # k=2 can: the repair extends bags and stays valid.
+        wide = repair_decomposition(
+            decomposition, new_graph, batch, 2, max_dirty_fraction=1.0
+        )
+        assert not wide.fallback and wide.extended_bags > 0
+        wide.decomposition.validate()
+        assert wide.decomposition.width() <= 2
+
+    def test_dirty_fraction_fallback(self):
+        graph, decomposition = _instance(20, 2, seed=5)
+        u, v = sorted(graph.edges(), key=repr)[0]
+        batch = EditBatch([remove_edge(u, v)])
+        new_graph = apply_edits(graph, batch)
+        result = repair_decomposition(
+            decomposition, new_graph, batch, 2, max_dirty_fraction=0.0
+        )
+        assert result.fallback and "dirty region" in result.reason
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=24),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_repair_is_valid_or_fallback(self, n, seed):
+        """Any applicable batch: repaired decomposition is valid, in-bound."""
+        rng = random.Random(seed)
+        graph, decomposition = _instance(n, 2, seed)
+        batch = _random_batch(graph, rng)
+        new_graph = apply_edits(graph, batch)
+        result = repair_decomposition(
+            decomposition, new_graph, batch, 2, max_dirty_fraction=1.0
+        )
+        if result.fallback:
+            assert "width" in result.reason
+            return
+        result.decomposition.validate()  # P1 + P2 + coverage, or raises
+        assert result.decomposition.width() <= 2
+        assert all(
+            0 <= i < len(decomposition.bags) for i in result.dirty_bags
+        )
+
+
+# ----------------------------------------------------------------------
+# Dirty-region executor.
+# ----------------------------------------------------------------------
+class TestDirtyRegionExecutor:
+    def _case(self, seed=2):
+        graph, decomposition = _instance(14, 2, seed)
+        inc = _certifier(graph, decomposition)
+        base = inc.baseline()
+        return inc, base.reports["connected"]
+
+    def test_region_grows_by_hops(self):
+        graph = path_graph(9)
+        executor = DirtyRegionExecutor(frontier_hops=0)
+        assert executor.region_for(graph, {4}) == {4}
+        assert DirtyRegionExecutor(frontier_hops=1).region_for(
+            graph, {4}
+        ) == {3, 4, 5}
+        assert DirtyRegionExecutor(frontier_hops=2).region_for(
+            graph, {4}
+        ) == {2, 3, 4, 5, 6}
+        # Vertices not in the graph are ignored, not crashed on.
+        assert DirtyRegionExecutor().region_for(graph, {99}) == set()
+
+    def test_honest_region_accepts(self):
+        _inc, report = self._case()
+        executor = DirtyRegionExecutor()
+        region = executor.verify_region(
+            report.config, report.scheme, report.labeling, {0, 1}
+        )
+        assert region.accepted and region.mode == "region"
+        assert 0 < region.region_size <= report.config.n
+
+    def test_forged_certificate_in_region_rejected(self):
+        _inc, report = self._case()
+        mapping = dict(report.labeling.mapping)
+        edge = sorted(mapping, key=repr)[0]
+        mapping[edge] = None  # drop one certificate
+        forged = type(report.labeling)(
+            report.labeling.location, mapping, report.labeling.size_context
+        )
+        executor = DirtyRegionExecutor()
+        region = executor.verify_region(
+            report.config, report.scheme, forged, set(edge)
+        )
+        assert not region.accepted
+        assert region.rejections
+
+    def test_full_round_escape_hatch(self):
+        _inc, report = self._case()
+        executor = DirtyRegionExecutor()
+        full = executor.full_round(report.config, report.scheme, report.labeling)
+        assert full.accepted and full.mode == "full"
+        assert full.region_size == report.config.n
+        assert full.full_report is not None
+
+
+# ----------------------------------------------------------------------
+# The incremental certifier: equivalence with cold certification.
+# ----------------------------------------------------------------------
+def _cold_facts(inc, properties=("connected",)):
+    """Cold-certify the certifier's current state over the same bags."""
+    session = CertificationSession(
+        k=inc.k, decomposer=witness_decomposer(inc.decomposition)
+    )
+    facts = {}
+    for key, report in session.certify(
+        inc.config, list(properties), verify=True
+    ).items():
+        facts[key] = {
+            "refused": report.refused,
+            "accepted": report.accepted,
+            "class_count": report.class_count,
+            "total_bits": report.total_label_bits,
+            "max_bits": report.max_label_bits,
+        }
+    return facts
+
+
+def _incremental_facts(report):
+    return {
+        key: {
+            "refused": rep.refused,
+            "accepted": rep.accepted,
+            "class_count": rep.class_count,
+            "total_bits": rep.total_label_bits,
+            "max_bits": rep.max_label_bits,
+        }
+        for key, rep in report.reports.items()
+    }
+
+
+class TestIncrementalCertifier:
+    def test_baseline_then_label_only_reuses_everything(self):
+        graph, decomposition = _instance(18, 2, seed=11)
+        inc = _certifier(graph, decomposition)
+        base = inc.baseline()
+        assert base.accepted and base.mode == "baseline"
+        report = inc.update(EditBatch([set_vertex_label(2, "hot")]))
+        assert report.accepted and report.mode == "region"
+        assert report.stages_run == 0  # the whole chain resolved
+        assert report.artifacts_reused == 6
+        assert inc.metrics.updates == 1
+
+    def test_update_auto_baselines(self):
+        graph, decomposition = _instance(12, 2, seed=12)
+        inc = _certifier(graph, decomposition)
+        report = inc.update(EditBatch([set_vertex_label(1, "x")]))
+        assert report.accepted and inc.baselined
+
+    def test_empty_batch_rejected(self):
+        graph, decomposition = _instance(10, 2, seed=13)
+        inc = _certifier(graph, decomposition)
+        with pytest.raises(ValueError, match="non-empty"):
+            inc.update(EditBatch([]))
+
+    def test_failed_edit_leaves_state_untouched(self):
+        graph, decomposition = _instance(10, 2, seed=14)
+        inc = _certifier(graph, decomposition)
+        inc.baseline()
+        before = inc.graph.fingerprint()
+        with pytest.raises(EditError):
+            inc.update(EditBatch([remove_edge(0, 999)]))
+        assert inc.graph.fingerprint() == before
+        assert inc.metrics.updates == 0  # a refused batch is not an update
+
+    def test_periodic_full_round(self):
+        graph, decomposition = _instance(14, 2, seed=15)
+        inc = _certifier(graph, decomposition, full_round_every=2)
+        inc.baseline()
+        first = inc.update(EditBatch([set_vertex_label(0, 1)]))
+        second = inc.update(EditBatch([set_vertex_label(1, 1)]))
+        third = inc.update(EditBatch([set_vertex_label(2, 1)]))
+        assert [r.mode for r in (first, second, third)] == [
+            "region",
+            "full",
+            "region",
+        ]
+        assert inc.metrics.full_rounds == 1
+
+    def test_fallback_path_recertifies_fully(self):
+        graph, decomposition = _instance(16, 2, seed=16)
+        inc = _certifier(graph, decomposition, max_dirty_fraction=0.0)
+        inc.baseline()
+        u, v = next(
+            (a, b)
+            for a, b in sorted(graph.edges(), key=repr)
+            if _still_connected(graph, a, b)
+        )
+        report = inc.update(EditBatch([remove_edge(u, v)]))
+        assert report.mode == "fallback"
+        assert report.repair.fallback
+        assert inc.metrics.full_fallbacks == 1
+        # The full round ran (the fallback escape hatch).
+        assert report.rounds["connected"].mode == "full"
+        # Equivalence holds through the fallback too: the certifier's
+        # recorded decomposition is the one the session actually used.
+        assert _incremental_facts(report) == _cold_facts(inc)
+
+    def test_disconnecting_edit_refuses_and_recovers(self):
+        graph = path_graph(8)
+        bags = [[i, i + 1] for i in range(7)]
+        inc = _certifier(graph, PathDecomposition(graph, bags))
+        inc.baseline()
+        cut = inc.update(EditBatch([remove_edge(3, 4)]))
+        assert not cut.accepted
+        assert cut.refusals  # the prover refused the disconnected graph
+        healed = inc.update(EditBatch([add_edge(3, 4)]))
+        assert healed.accepted
+
+    def test_refused_fallback_rebaselines_on_next_update(self):
+        # A width fallback whose from-scratch search refuses leaves no
+        # live decomposition; the stream must recover once an edit
+        # brings the graph back within reach.
+        graph = path_graph(6)
+        bags = [[i, i + 1] for i in range(5)]
+        inc = _certifier(graph, PathDecomposition(graph, bags), k=1)
+        inc.baseline()
+        grow = inc.update(EditBatch([add_edge(0, 5)]))  # pathwidth 2 > k
+        assert grow.mode == "fallback" and not grow.accepted
+        assert "width" in grow.repair.reason
+        assert not inc.baselined
+        healed = inc.update(EditBatch([remove_edge(0, 5)]))
+        assert healed.mode == "fallback" and healed.accepted
+        assert healed.repair.reason == "no live decomposition"
+        assert inc.baselined
+        assert inc.metrics.full_fallbacks == 2
+
+    def test_policy_fallback_keeps_repaired_witness(self):
+        # A dirty-fraction fallback rebuilt every certificate but the
+        # repaired bags stayed the witness — no re-search happened.
+        graph, decomposition = _instance(16, 2, seed=17)
+        inc = _certifier(graph, decomposition, max_dirty_fraction=0.0)
+        inc.baseline()
+        u, v = next(
+            (a, b)
+            for a, b in sorted(graph.edges(), key=repr)
+            if _still_connected(graph, a, b)
+        )
+        report = inc.update(EditBatch([remove_edge(u, v)]))
+        assert report.mode == "fallback" and report.accepted
+        assert inc.baselined
+        inc.decomposition.validate()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=18),
+        seed=st.integers(min_value=0, max_value=10_000),
+        batches=st.integers(min_value=1, max_value=3),
+    )
+    def test_incremental_equals_cold(self, n, seed, batches):
+        """Verdict, measured bits, and class counts match a cold run."""
+        rng = random.Random(seed)
+        graph, decomposition = _instance(n, 2, seed)
+        inc = _certifier(graph, decomposition)
+        inc.baseline()
+        engine = VerificationEngine()
+        report = None
+        for _ in range(batches):
+            batch = _random_batch(inc.graph, rng)
+            report = inc.update(batch)
+            for key, prop_report in report.reports.items():
+                if prop_report.refused:
+                    continue
+                # Region verdict ≡ full-round verdict, every step.
+                full = engine.verify(
+                    prop_report.config,
+                    prop_report.scheme,
+                    prop_report.labeling,
+                )
+                assert report.rounds[key].accepted == full.accepted
+        if inc.decomposition is None:
+            # The stream ran out of witnesses (a width fallback whose
+            # re-search refused); the reports must say so honestly.
+            assert all(r.refused for r in report.reports.values())
+        else:
+            assert _incremental_facts(report) == _cold_facts(inc)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_label_only_equals_cold_bit_for_bit(self, seed):
+        graph, decomposition = _instance(14, 2, seed)
+        inc = _certifier(graph, decomposition)
+        inc.baseline()
+        rng = random.Random(seed)
+        report = inc.update(_random_batch(inc.graph, rng, structural_ok=False))
+        assert report.stages_run == 0
+        assert _incremental_facts(report) == _cold_facts(inc)
+
+
+# ----------------------------------------------------------------------
+# Adversarial edit campaign: reuse never degrades soundness.
+# ----------------------------------------------------------------------
+class StaleRetentionAttack(AuditAttack):
+    """Edit the graph, keep the pre-edit certificates verbatim.
+
+    ``mode='add'`` splices an uncertified edge in; ``mode='remove'``
+    deletes a certified edge (choosing one that keeps the graph
+    connected, so acceptance would be a pure soundness failure rather
+    than a true 'property now false' outcome).
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self.name = f"stale-{mode}"
+
+    def instances(self, case, rng):
+        graph = case.config.graph
+        if self.mode == "add":
+            vertices = sorted(graph.vertices())
+            spare = [
+                (u, v)
+                for i, u in enumerate(vertices)
+                for v in vertices[i + 1:]
+                if not graph.has_edge(u, v)
+            ]
+            if not spare:
+                yield None
+                return
+            u, v = rng.choice(spare)
+            edited = apply_edits(graph, EditBatch([add_edge(u, v)]))
+        else:
+            candidates = []
+            for u, v in sorted(graph.edges(), key=repr):
+                probe = graph.copy()
+                probe.remove_edge(u, v)
+                if probe.is_connected():
+                    candidates.append((u, v))
+            if not candidates:
+                yield None
+                return
+            u, v = rng.choice(candidates)
+            edited = apply_edits(graph, EditBatch([remove_edge(u, v)]))
+        yield AdversarialInstance(
+            Configuration(edited, case.config.ids),
+            case.labeling,
+            note=f"{self.mode} {{{u}, {v}}} with stale certificates",
+        )
+
+
+class TestAdversarialEditCampaign:
+    def test_stale_certificates_rejected(self):
+        def case_factory(trial, rng):
+            graph, bags = random_pathwidth_graph(14, 2, rng)
+            inc = IncrementalCertifier(
+                graph,
+                ["connected"],
+                k=2,
+                decomposer=witness_decomposer(PathDecomposition(graph, bags)),
+                rng=rng,
+            )
+            report = inc.baseline().reports["connected"]
+            return AuditCase(report.config, report.scheme, report.labeling, trial)
+
+        plan = AuditPlan(
+            case_factory,
+            [
+                StaleRetentionAttack("add"),
+                StaleRetentionAttack("remove"),
+                MutationAttack(per_case=2),
+            ],
+            trials=5,
+            root_seed=12,
+            name="incremental-audit",
+        )
+        report = plan.run()
+        assert report.all_rejected, report.summary()
+        assert report.tally("stale-add").attempted >= 4
+        assert report.tally("stale-remove").attempted >= 4
+
+    def test_region_round_rejects_stale_certificates(self):
+        """The incremental round itself (not just a full round) rejects."""
+        graph, decomposition = _instance(14, 2, seed=21)
+        inc = _certifier(graph, decomposition)
+        report = inc.baseline().reports["connected"]
+        vertices = sorted(graph.vertices())
+        u, v = next(
+            (a, b)
+            for i, a in enumerate(vertices)
+            for b in vertices[i + 1:]
+            if not graph.has_edge(a, b)
+        )
+        edited = apply_edits(graph, EditBatch([add_edge(u, v)]))
+        region = DirtyRegionExecutor().verify_region(
+            Configuration(edited, report.config.ids),
+            report.scheme,
+            report.labeling,
+            {u, v},
+        )
+        assert not region.accepted
+
+
+# ----------------------------------------------------------------------
+# Metrics plumbing: certifier -> store -> service.
+# ----------------------------------------------------------------------
+class TestIncrementalMetrics:
+    def test_store_counters(self, tmp_path):
+        from repro.api import CertificateStore
+
+        store = CertificateStore(tmp_path / "store")
+        graph, decomposition = _instance(12, 2, seed=31)
+        inc = _certifier(graph, decomposition, store=store)
+        inc.baseline()
+        inc.update(EditBatch([set_vertex_label(0, "m")]))
+        u, v = sorted(inc.graph.edges(), key=repr)[0]
+        inc.update(EditBatch([remove_edge(u, v)]))
+        snapshot = store.metrics.snapshot()
+        assert snapshot["updates"] == 2
+        assert snapshot["artifacts_reused"] >= 6
+        assert snapshot["bags_dirtied"] >= 1
+        stats = store.stats()
+        assert stats["incremental"]["updates"] == 2
+
+    def test_certifier_metrics_to_dict(self):
+        graph, decomposition = _instance(10, 2, seed=32)
+        inc = _certifier(graph, decomposition)
+        inc.baseline()
+        inc.update(EditBatch([set_vertex_label(0, 1)]))
+        snap = inc.metrics.to_dict()
+        assert snap["updates"] == 1
+        assert snap["region_rounds"] == 1
+        assert set(snap) >= {
+            "updates",
+            "bags_dirtied",
+            "artifacts_reused",
+            "full_fallbacks",
+        }
+
+
+# ----------------------------------------------------------------------
+# The service update op.
+# ----------------------------------------------------------------------
+def _service(tmp_path, **overrides):
+    config = ServiceConfig(store_root=tmp_path / "store", **overrides)
+    return CertificationService(config)
+
+
+class TestServiceUpdateOp:
+    def test_bootstrap_evolve_and_metrics(self, tmp_path):
+        service = _service(tmp_path)
+        graph = caterpillar_graph(10, 2)
+
+        async def scenario():
+            boot = await service.handle(
+                {
+                    "id": 1,
+                    "op": "update",
+                    "graph": graph_to_wire(graph),
+                    "properties": ["connected"],
+                }
+            )
+            assert boot["ok"], boot
+            fingerprint = boot["result"]["fingerprint"]
+            assert boot["result"]["baseline"]["mode"] == "baseline"
+            assert boot["result"]["baseline"]["accepted"]
+            assert boot["result"]["update"] is None
+
+            evolved = await service.handle(
+                {
+                    "id": 2,
+                    "op": "update",
+                    "fingerprint": fingerprint,
+                    "properties": ["connected"],
+                    "edits": [["set_vertex_label", 3, "hot"]],
+                }
+            )
+            assert evolved["ok"], evolved
+            body = evolved["result"]["update"]
+            assert body["accepted"] and body["mode"] == "region"
+            assert body["stages_run"] == 0  # full artifact reuse
+            assert evolved["result"]["fingerprint"] != fingerprint
+
+            structural = await service.handle(
+                {
+                    "id": 3,
+                    "op": "update",
+                    "fingerprint": evolved["result"]["fingerprint"],
+                    "properties": ["connected"],
+                    "edits": [["add_edge", 0, 2]],
+                }
+            )
+            assert structural["ok"], structural
+            assert structural["result"]["update"]["accepted"]
+
+            metrics = await service.handle({"id": 4, "op": "metrics"})
+            return boot, metrics["result"]
+
+        _boot, snapshot = asyncio.run(scenario())
+        assert snapshot["incremental"]["updates"] == 2
+        assert snapshot["incremental"]["artifacts_reused"] >= 6
+        assert snapshot["store"]["incremental"]["updates"] == 2
+        service.close_blocking()
+
+    def test_stale_and_malformed_addressing(self, tmp_path):
+        service = _service(tmp_path)
+        graph = caterpillar_graph(8, 1)
+
+        async def scenario():
+            boot = await service.handle(
+                {
+                    "id": 1,
+                    "op": "update",
+                    "graph": graph_to_wire(graph),
+                    "properties": ["connected"],
+                }
+            )
+            fingerprint = boot["result"]["fingerprint"]
+            await service.handle(
+                {
+                    "id": 2,
+                    "op": "update",
+                    "fingerprint": fingerprint,
+                    "properties": ["connected"],
+                    "edits": [["set_vertex_label", 0, "x"]],
+                }
+            )
+            stale = await service.handle(
+                {
+                    "id": 3,
+                    "op": "update",
+                    "fingerprint": fingerprint,  # one state behind now
+                    "properties": ["connected"],
+                    "edits": [["set_vertex_label", 1, "y"]],
+                }
+            )
+            missing = await service.handle(
+                {
+                    "id": 4,
+                    "op": "update",
+                    "fingerprint": "no-such-state",
+                    "properties": ["connected"],
+                    "edits": [["set_vertex_label", 1, "y"]],
+                }
+            )
+            malformed = await service.handle(
+                {
+                    "id": 5,
+                    "op": "update",
+                    "fingerprint": fingerprint,
+                    "properties": ["connected"],
+                    "edits": [["explode", 1]],
+                }
+            )
+            no_edits = await service.handle(
+                {
+                    "id": 6,
+                    "op": "update",
+                    "fingerprint": fingerprint,
+                    "properties": ["connected"],
+                }
+            )
+            return stale, missing, malformed, no_edits
+
+        stale, missing, malformed, no_edits = asyncio.run(scenario())
+        assert not stale["ok"] and "no incremental state" in stale["error"]
+        assert not missing["ok"]
+        assert not malformed["ok"] and "malformed edits" in malformed["error"]
+        assert not no_edits["ok"] and "non-empty" in no_edits["error"]
+        service.close_blocking()
+
+    def test_identical_updates_coalesce(self, tmp_path):
+        service = _service(tmp_path)
+        graph = caterpillar_graph(8, 1)
+
+        async def scenario():
+            boot = await service.handle(
+                {
+                    "id": 1,
+                    "op": "update",
+                    "graph": graph_to_wire(graph),
+                    "properties": ["connected"],
+                }
+            )
+            fingerprint = boot["result"]["fingerprint"]
+            request = {
+                "op": "update",
+                "fingerprint": fingerprint,
+                "properties": ["connected"],
+                "edits": [["set_vertex_label", 2, "hot"]],
+            }
+            first, second = await asyncio.gather(
+                service.handle(dict(request, id=2)),
+                service.handle(dict(request, id=3)),
+            )
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first["ok"] and second["ok"]
+        # One of the two was served by the other's computation.
+        assert first["meta"]["coalesced"] or second["meta"]["coalesced"]
+        assert service.metrics.updates == 1  # the batch applied once
+        service.close_blocking()
