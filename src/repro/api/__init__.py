@@ -17,10 +17,11 @@ property-level *evaluation* stages; this package exposes that split:
   artifacts next to the certificates;
 * :class:`ParallelProver` (:mod:`repro.api.prover`) — pool-resident
   dispatch of the independent per-property evaluate/label nodes;
-* :class:`VerificationEngine` + executors (:mod:`repro.api.runtime`) —
-  the verification round with pluggable scheduling (serial / process
-  pool), fail-fast short-circuiting, and structured
-  :class:`VerificationReport` output;
+* :class:`VerificationEngine` + executors (:mod:`repro.api.runtime`,
+  :mod:`repro.api.vectorized`) — the verification round with pluggable
+  scheduling (serial / process pool / batched numpy kernels /
+  shared-memory workers, see :func:`make_executor`), fail-fast
+  short-circuiting, and structured :class:`VerificationReport` output;
 * :class:`AuditPlan` / :class:`AuditReport` (:mod:`repro.api.audit`) —
   declarative soundness campaigns over the adversary generators, driven
   by named seed streams;
@@ -95,8 +96,12 @@ from repro.api.runtime import (
     VerificationEngine,
     VerificationExecutor,
     VerificationReport,
+    executor_names,
+    make_executor,
+    register_executor,
     verify_labeling,
 )
+from repro.api.vectorized import SharedMemoryExecutor, VectorizedExecutor
 from repro.api.session import CertificationSession
 from repro.api.store import CertificateStore, StoreError, StoreMetrics
 
@@ -127,6 +132,11 @@ __all__ = [
     "VerificationExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "VectorizedExecutor",
+    "SharedMemoryExecutor",
+    "make_executor",
+    "register_executor",
+    "executor_names",
     "VerificationReport",
     "ChunkTiming",
     "verify_labeling",

@@ -477,6 +477,16 @@ class AuditPlan:
         whole campaign.
     name:
         Campaign label for reports.
+    engine:
+        Default verification engine for :meth:`run` — either a
+        :class:`~repro.api.runtime.VerificationEngine` or a registered
+        executor name (``"serial"``, ``"parallel"``, ``"vectorized"``,
+        ``"shared-memory"``), which is wrapped in a ``fail_fast``
+        engine.  ``None`` keeps the classic fail-fast serial default.
+        Whatever the engine, soundness verdicts are identical — the
+        vectorized executors re-check every kernel-flagged vertex
+        through the reference path — so campaigns can run under the
+        fast round without weakening the audit.
     """
 
     case_factory: Callable[[int, random.Random], AuditCase]
@@ -484,6 +494,7 @@ class AuditPlan:
     trials: int = 10
     root_seed: int = 0
     name: str = "audit"
+    engine: object = None
 
     def __post_init__(self):
         if self.trials < 1:
@@ -517,17 +528,31 @@ class AuditPlan:
             self.root_seed, self.name, "attack", attack.name, trial
         )
 
-    def run(self, engine: Optional[VerificationEngine] = None) -> AuditReport:
+    def resolve_engine(self, engine=None) -> VerificationEngine:
+        """Materialize the engine ``run`` will use.
+
+        Precedence: the ``engine`` argument, then the plan's ``engine``
+        field, then the classic fail-fast serial default.  Strings name
+        a registered executor and get a fail-fast engine around it.
+        """
+        chosen = engine if engine is not None else self.engine
+        if chosen is None:
+            return VerificationEngine(SerialExecutor(), fail_fast=True)
+        if isinstance(chosen, str):
+            from repro.api.runtime import make_executor
+
+            return VerificationEngine(make_executor(chosen), fail_fast=True)
+        return chosen
+
+    def run(self, engine=None) -> AuditReport:
         """Execute the campaign and tally the verdicts.
 
         The default engine is serial with ``fail_fast`` — an audit needs
         only the accept bit, so short-circuiting on the first rejecting
-        vertex is pure win.  Pass an engine to change scheduling (e.g. a
-        :class:`~repro.api.runtime.ParallelExecutor` for large
-        configurations).
+        vertex is pure win.  Pass an engine (or a registered executor
+        name such as ``"vectorized"``) to override the plan's default.
         """
-        if engine is None:
-            engine = VerificationEngine(SerialExecutor(), fail_fast=True)
+        engine = self.resolve_engine(engine)
         start = perf_counter()
         attempts: list = []
         counts = {

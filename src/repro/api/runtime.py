@@ -125,6 +125,10 @@ class VerificationReport:
     short_circuited: bool = False
     chunks: tuple = ()  # ChunkTiming, in chunk order
     elapsed_seconds: float = 0.0
+    #: Executor-specific counters (the vectorized executors report
+    #: kernel coverage, fallback counts, and compile/kernel timing here;
+    #: the reference executors leave it None).
+    kernel_stats: Optional[dict] = None
 
     @property
     def rejecting_vertices(self) -> list:
@@ -171,6 +175,7 @@ class VerificationReport:
             "short_circuited": self.short_circuited,
             "chunks": [chunk.to_dict() for chunk in self.chunks],
             "elapsed_seconds": self.elapsed_seconds,
+            "kernel_stats": self.kernel_stats,
         }
 
     def to_json(self, **kwargs) -> str:
@@ -198,6 +203,7 @@ class VerificationReport:
                 ChunkTiming.from_dict(c) for c in data.get("chunks", ())
             ),
             elapsed_seconds=data.get("elapsed_seconds", 0.0),
+            kernel_stats=data.get("kernel_stats"),
         )
 
     def summary(self) -> str:
@@ -231,6 +237,7 @@ class _ChunkOutcome:
     views_built: int
     seconds: float
     rejected: bool  # saw at least one rejection (fail_fast trigger)
+    kernel_stats: Optional[dict] = None  # vectorized executors only
 
 
 def _run_range(
@@ -560,6 +567,54 @@ class ParallelExecutor(VerificationExecutor):
 
 
 # ----------------------------------------------------------------------
+# Executor registry: name -> factory.  The vectorized executors live in
+# ``repro.api.vectorized`` (optional numpy); they are imported lazily on
+# first lookup so ``repro.api.runtime`` stays numpy-free.
+
+
+_EXECUTOR_FACTORIES: dict = {
+    "serial": SerialExecutor,
+    "parallel": ParallelExecutor,
+}
+
+_LAZY_EXECUTORS = {"vectorized", "shared-memory"}
+
+
+def register_executor(name: str, factory) -> None:
+    """Register an executor factory under ``name`` (overwrites)."""
+    _EXECUTOR_FACTORIES[name] = factory
+
+
+def _canonical_executor_name(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def make_executor(name: str, **kwargs) -> VerificationExecutor:
+    """Build a registered executor by name.
+
+    Accepts ``serial``, ``parallel``, ``vectorized``, and
+    ``shared-memory`` (alias ``shared_memory``); the vectorized pair is
+    imported on demand.  Raises ``ValueError`` for unknown names, and
+    ``RuntimeError`` if a vectorized executor is requested while numpy
+    is unavailable.
+    """
+    key = _canonical_executor_name(name)
+    if key not in _EXECUTOR_FACTORIES and key in _LAZY_EXECUTORS:
+        import repro.api.vectorized  # noqa: F401  (registers on import)
+    factory = _EXECUTOR_FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown executor {name!r}; known: {sorted(executor_names())}"
+        )
+    return factory(**kwargs)
+
+
+def executor_names() -> list:
+    """All resolvable executor names (without importing lazy ones)."""
+    return sorted(set(_EXECUTOR_FACTORIES) | _LAZY_EXECUTORS)
+
+
+# ----------------------------------------------------------------------
 # The engine.
 
 
@@ -628,9 +683,21 @@ class VerificationEngine:
 
         verdicts: dict = {}
         exception_rejections: list = []
+        kernel_stats: Optional[dict] = None
         for outcome in outcomes:
             verdicts.update(outcome.verdicts)
             exception_rejections.extend(outcome.exception_vertices)
+            if outcome.kernel_stats is not None:
+                if kernel_stats is None:
+                    kernel_stats = dict(outcome.kernel_stats)
+                else:
+                    for key, value in outcome.kernel_stats.items():
+                        if isinstance(value, (int, float)) and isinstance(
+                            kernel_stats.get(key), (int, float)
+                        ):
+                            kernel_stats[key] += value
+                        else:
+                            kernel_stats.setdefault(key, value)
         rejecting = [v for v, ok in verdicts.items() if not ok]
         exception_set = set(exception_rejections)
         accepted = not rejecting and len(verdicts) == len(vertices)
@@ -649,12 +716,15 @@ class VerificationEngine:
             exception_rejections=tuple(sorted(exception_set, key=repr)),
             executor=self.executor.name,
             fail_fast=self.fail_fast,
-            short_circuited=self.fail_fast and views_built < len(vertices),
+            # Verdict coverage, not views_built: the vectorized
+            # executors decide most vertices without building a view.
+            short_circuited=self.fail_fast and len(verdicts) < len(vertices),
             chunks=tuple(
                 ChunkTiming(o.index, o.size, o.views_built, o.seconds)
                 for o in outcomes
             ),
             elapsed_seconds=elapsed,
+            kernel_stats=kernel_stats,
         )
 
 

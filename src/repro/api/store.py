@@ -66,6 +66,7 @@ from repro.codec import (
     CodecError,
     EncodedLabel,
     EncodedLabeling,
+    decode_labeling_columnar,
     encode_labeling,
 )
 from repro.courcelle.registry import resolve_algebra
@@ -644,7 +645,10 @@ class CertificateStore:
         labeling = None
         if decode:
             try:
-                labeling = encoded.decode()
+                # Columnar bulk decode: equal to encoded.decode() but
+                # shares sub-structure across edges, so downstream
+                # rounds (and kernel compiles) see interned objects.
+                labeling = decode_labeling_columnar(encoded)
             except CodecError as exc:
                 raise StoreError(
                     f"corrupted certificate payload in {path}: {exc}"

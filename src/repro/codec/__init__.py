@@ -34,6 +34,7 @@ from repro.codec.wire import (
     encode_label,
     encode_labeling,
 )
+from repro.codec.columnar import ColumnarDecoder, decode_labeling_columnar
 
 __all__ = [
     "BitReader",
@@ -50,4 +51,6 @@ __all__ = [
     "decode_label",
     "encode_labeling",
     "decode_labeling",
+    "ColumnarDecoder",
+    "decode_labeling_columnar",
 ]

@@ -1,0 +1,279 @@
+"""Columnar bulk decode: one interning pass over a whole labeling.
+
+:meth:`EncodedLabeling.decode` rebuilds each edge's label independently,
+so equal-content :class:`~repro.core.certificates.BasicInfo` and record
+objects come back as *distinct* python objects — one fresh object graph
+per edge even though certificates overwhelmingly share sub-structure
+(the same tree node's info appears on every incident edge of its
+subtree).  That costs decode time, resident memory, and — since PR 8 —
+kernel compile time: the vectorized executors intern certificates by
+content, and interning distinct-but-equal objects pays a deep dataclass
+hash per occurrence where an identity hit would be a dict lookup.
+
+This module decodes a labeling *columnarly*: every component is keyed
+by the raw wire codes that encode it (infos by their code tuple,
+pointers by their code tuple, records by component identities plus
+scalars, certificate stacks by record-identity tuples) and constructed
+exactly once.  Because interned sub-objects are unique per content, the
+identity-based record and stack keys are content-faithful without ever
+hashing a dataclass.  The result is ``==`` to the reference decode —
+pinned by tier-1 tests — but maximally shared: the kernel compiler's
+``id()`` memo then hits once per distinct certificate instead of once
+per edge.
+"""
+
+from __future__ import annotations
+
+from repro.core.certificates import (
+    BasicInfo,
+    BLevelRecord,
+    EdgeCertificate,
+    ELevelRecord,
+    EmbeddedRecord,
+    PLevelRecord,
+    Theorem1Label,
+    TLevelRecord,
+)
+from repro.codec.bitio import BitReader, BitStreamError
+from repro.codec.wire import (
+    _KIND_BITS,
+    _KIND_NAMES,
+    CodecError,
+    EncodedLabeling,
+    WireHeader,
+)
+from repro.pls.pointer import PointerLabel
+from repro.pls.scheme import Labeling
+
+
+class ColumnarDecoder:
+    """Shared interning state for one bulk decode (one header)."""
+
+    __slots__ = ("header", "_infos", "_pointers", "_records", "_certs")
+
+    def __init__(self, header: WireHeader):
+        self.header = header
+        self._infos = {}
+        self._pointers = {}
+        self._records = {}
+        self._certs = {}
+
+    # Raw-code readers: consume exactly the same bits as the reference
+    # ``_decode_*`` functions, but intern before constructing.
+
+    def _read_info(self, r: BitReader) -> BasicInfo:
+        h = self.header
+        kind_code = r.read(_KIND_BITS)
+        if kind_code not in _KIND_NAMES:
+            raise CodecError(f"invalid kind code {kind_code}")
+        node_raw = r.read(h.node_width)
+        mask = r.read(h.lane_bits)
+        lane_count = bin(mask).count("1")
+        in_codes = tuple(
+            r.read(h.id_index_bits) for _ in range(lane_count)
+        )
+        out_codes = tuple(
+            r.read(h.id_index_bits) for _ in range(lane_count)
+        )
+        state_code = r.read(h.class_bits)
+        key = (kind_code, node_raw, mask, in_codes, out_codes, state_code)
+        info = self._infos.get(key)
+        if info is None:
+            lanes = tuple(
+                lane for lane in range(h.lane_bits) if mask & (1 << lane)
+            )
+            info = BasicInfo(
+                kind=_KIND_NAMES[kind_code],
+                node_id=node_raw - 1,
+                lanes=lanes,
+                in_ids=tuple(
+                    (lane, h.id_table[code])
+                    for lane, code in zip(lanes, in_codes)
+                ),
+                out_ids=tuple(
+                    (lane, h.id_table[code])
+                    for lane, code in zip(lanes, out_codes)
+                ),
+                state=h.states[state_code],
+            )
+            self._infos[key] = info
+        return info
+
+    def _read_pointer(self, r: BitReader) -> PointerLabel:
+        h = self.header
+        key = (
+            r.read(h.id_index_bits),
+            r.read(h.id_index_bits),
+            r.read(h.counter_width),
+            r.read(h.id_index_bits),
+            r.read(h.counter_width),
+        )
+        pointer = self._pointers.get(key)
+        if pointer is None:
+            pointer = PointerLabel(
+                target_id=h.id_table[key[0]],
+                id_a=h.id_table[key[1]],
+                dist_a=key[2],
+                id_b=h.id_table[key[3]],
+                dist_b=key[4],
+            )
+            self._pointers[key] = pointer
+        return pointer
+
+    def _read_record(self, r: BitReader):
+        h = self.header
+        info = self._read_info(r)
+        if info.kind == "T":
+            member_info = self._read_info(r)
+            member_subtree = self._read_info(r)
+            children = tuple(
+                self._read_info(r) for _ in range(r.read(h.child_width))
+            )
+            pointer = self._read_pointer(r)
+            root_raw = r.read(h.node_width)
+            # Interned components are unique per content, so identity
+            # keys are content keys — no dataclass hashing anywhere.
+            key = (
+                "T",
+                id(info),
+                id(member_info),
+                id(member_subtree),
+                tuple(id(child) for child in children),
+                id(pointer),
+                root_raw,
+            )
+            record = self._records.get(key)
+            if record is None:
+                record = TLevelRecord(
+                    info=info,
+                    member_info=member_info,
+                    member_subtree=member_subtree,
+                    child_subtrees=children,
+                    pointer=pointer,
+                    root_member_id=root_raw - 1,
+                )
+                self._records[key] = record
+            return record
+        if info.kind == "B":
+            left = self._read_info(r)
+            right = self._read_info(r)
+            bridge = (r.read(h.lane_index_bits), r.read(h.lane_index_bits))
+            tag_code = r.read(h.tag_bits)
+            side_raw = r.read(2)
+            key = (
+                "B", id(info), id(left), id(right), bridge, tag_code,
+                side_raw,
+            )
+            record = self._records.get(key)
+            if record is None:
+                record = BLevelRecord(
+                    info=info,
+                    left=left,
+                    right=right,
+                    bridge=bridge,
+                    bridge_tag=h.tags[tag_code],
+                    side=side_raw - 1,
+                )
+                self._records[key] = record
+            return record
+        if info.kind == "E":
+            key = (
+                "E",
+                id(info),
+                r.read(h.id_index_bits),
+                r.read(h.id_index_bits),
+                r.read(h.tag_bits),
+            )
+            record = self._records.get(key)
+            if record is None:
+                record = ELevelRecord(
+                    info=info,
+                    in_id=h.id_table[key[2]],
+                    out_id=h.id_table[key[3]],
+                    tag=h.tags[key[4]],
+                )
+                self._records[key] = record
+            return record
+        if info.kind == "P":
+            id_codes = tuple(
+                r.read(h.id_index_bits)
+                for _ in range(r.read(h.path_width))
+            )
+            tag_codes = tuple(
+                r.read(h.tag_bits) for _ in range(r.read(h.path_width))
+            )
+            position = r.read(h.counter_width)
+            key = ("P", id(info), id_codes, tag_codes, position)
+            record = self._records.get(key)
+            if record is None:
+                record = PLevelRecord(
+                    info=info,
+                    vertex_ids=tuple(
+                        h.id_table[code] for code in id_codes
+                    ),
+                    tags=tuple(h.tags[code] for code in tag_codes),
+                    position=position,
+                )
+                self._records[key] = record
+            return record
+        raise CodecError(
+            f"record cannot start with a {info.kind!r} node info"
+        )
+
+    def _read_certificate(self, r: BitReader) -> EdgeCertificate:
+        depth = r.read(self.header.depth_width)
+        if depth < 1:
+            raise CodecError("certificate stack cannot be empty")
+        records = tuple(self._read_record(r) for _ in range(depth))
+        key = tuple(id(record) for record in records)
+        cert = self._certs.get(key)
+        if cert is None:
+            cert = EdgeCertificate(records)
+            self._certs[key] = cert
+        return cert
+
+    def decode_label(self, data: bytes, bit_length=None) -> Theorem1Label:
+        """Interning twin of :func:`repro.codec.wire.decode_label`."""
+        h = self.header
+        try:
+            r = BitReader(data, bit_length)
+            certificate = self._read_certificate(r)
+            embedded = []
+            for _ in range(r.read(h.embed_width)):
+                embedded.append(
+                    EmbeddedRecord(
+                        u_id=h.id_table[r.read(h.id_index_bits)],
+                        v_id=h.id_table[r.read(h.id_index_bits)],
+                        forward=r.read(h.counter_width),
+                        backward=r.read(h.counter_width),
+                        payload=self._read_certificate(r),
+                    )
+                )
+            if bit_length is not None and r.position != bit_length:
+                raise CodecError(
+                    f"trailing data: read {r.position} of {bit_length} bits"
+                )
+        except (BitStreamError, IndexError) as exc:
+            raise CodecError(f"malformed label encoding: {exc}") from exc
+        return Theorem1Label(
+            certificate=certificate, embedded=tuple(embedded)
+        )
+
+
+def decode_labeling_columnar(encoded: EncodedLabeling) -> Labeling:
+    """Decode a whole labeling with cross-edge structure sharing.
+
+    Equal (``==``) to :meth:`EncodedLabeling.decode`'s result; differs
+    only in object identity — shared sub-structure is decoded once and
+    referenced everywhere it occurs.
+    """
+    decoder = ColumnarDecoder(encoded.header)
+    mapping = {
+        key: decoder.decode_label(e.data, e.bit_length)
+        for key, e in encoded.labels.items()
+    }
+    return Labeling(
+        location=encoded.location,
+        mapping=mapping,
+        size_context=encoded.header.size_context(),
+    )

@@ -24,6 +24,13 @@ from repro.pls.model import (
     ViewFactory,
     view_factory_for,
 )
+from repro.pls.arrays import (
+    HAVE_NUMPY,
+    NotVectorizable,
+    RoundArrays,
+    pack_round_arrays,
+    unpack_round_arrays,
+)
 from repro.pls.scheme import Labeling, ProofLabelingScheme, VerificationResult
 from repro.pls.simulator import run_verification
 from repro.pls.bits import uint_bits, id_bits_for
@@ -37,6 +44,11 @@ __all__ = [
     "LocalView",
     "ViewFactory",
     "view_factory_for",
+    "HAVE_NUMPY",
+    "NotVectorizable",
+    "RoundArrays",
+    "pack_round_arrays",
+    "unpack_round_arrays",
     "Labeling",
     "ProofLabelingScheme",
     "VerificationResult",

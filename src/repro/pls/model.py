@@ -213,6 +213,35 @@ class ViewFactory:
         """Return the dense index of ``vertex`` (KeyError if absent)."""
         return self._csr.index[vertex]
 
+    @property
+    def csr(self):
+        """The underlying :class:`CSRAdjacency` snapshot of this round."""
+        return self._csr
+
+    @property
+    def identifiers(self) -> list:
+        """Per-dense-vertex integer identifiers (CSR vertex order)."""
+        return self._identifiers
+
+    @property
+    def edge_certificates(self):
+        """Per-edge certificate column (edge-labeled rounds; else None).
+
+        Aligned with ``csr.edges``: entry ``k`` is the certificate on the
+        canonical edge with stable index ``k`` (``None`` if unlabeled).
+        """
+        return self._edge_certs
+
+    def round_arrays(self):
+        """Numpy :class:`repro.pls.arrays.RoundArrays` mirror of this round.
+
+        Raises :class:`repro.pls.arrays.NotVectorizable` when identifiers
+        are not plain bounded ints, ``RuntimeError`` when numpy is absent.
+        """
+        from repro.pls.arrays import RoundArrays
+
+        return RoundArrays.from_csr(self._csr, self._identifiers)
+
     def view_at(self, index: int) -> LocalView:
         """Build the :class:`LocalView` of the vertex with dense ``index``."""
         csr = self._csr

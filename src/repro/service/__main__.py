@@ -75,7 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine-workers", type=int, default=0, metavar="N",
-        help="per-thread resident ParallelExecutor pool size (0 = serial)",
+        help="per-thread resident executor pool size (0 = serial)",
+    )
+    parser.add_argument(
+        "--engine", default="serial", metavar="KIND",
+        help="verification executor kind: serial, parallel, vectorized,"
+        " or shared-memory (default: serial; serial with"
+        " --engine-workers>0 upgrades to parallel)",
     )
     parser.add_argument(
         "--byte-budget", type=parse_bytes, default=None, metavar="BYTES",
@@ -97,6 +103,7 @@ def main(argv=None) -> int:
         worker_threads=args.workers,
         prover_workers=args.prover_workers,
         engine_workers=args.engine_workers,
+        engine=args.engine,
         byte_budget=args.byte_budget,
         drain_timeout=args.drain_timeout,
     )

@@ -94,6 +94,12 @@ class ServiceMetrics:
     * ``store_hits`` / ``store_misses`` — certify requests served from
       the certificate store vs proven fresh (the serving-layer view;
       the store object keeps its own lower-level counters);
+    * kernel counters (PR 8): ``kernel_rounds`` — verification rounds
+      whose report carried :attr:`VerificationReport.kernel_stats`,
+      with summed ``kernel_accepted`` / ``fallback_vertices`` /
+      ``compiled_vertices`` across them — the observable proof that a
+      ``vectorized`` / ``shared-memory`` engine actually decided
+      vertices in the batched kernels rather than the reference path;
     * incremental counters (the ``update`` op): ``updates`` applied,
       ``bags_dirtied`` across their decomposition repairs,
       ``artifacts_reused`` from the plan DAG instead of re-run, and
@@ -117,6 +123,10 @@ class ServiceMetrics:
         self.bags_dirtied = 0
         self.artifacts_reused = 0
         self.full_fallbacks = 0
+        self.kernel_rounds = 0
+        self.kernel_accepted = 0
+        self.kernel_fallback = 0
+        self.kernel_compiled = 0
         self._latency: dict = {}  # op -> LatencyHistogram
 
     # ------------------------------------------------------------------
@@ -160,6 +170,16 @@ class ServiceMetrics:
             else:
                 self.store_misses += 1
 
+    def kernel_round(self, stats) -> None:
+        """Record one verification round's ``kernel_stats`` (if any)."""
+        if not stats:
+            return
+        with self._lock:
+            self.kernel_rounds += 1
+            self.kernel_accepted += int(stats.get("kernel_accepted", 0))
+            self.kernel_fallback += int(stats.get("fallback_vertices", 0))
+            self.kernel_compiled += int(stats.get("compiled_vertices", 0))
+
     def incremental_update(
         self,
         bags_dirtied: int = 0,
@@ -188,6 +208,12 @@ class ServiceMetrics:
                 "prover_runs": self.prover_runs,
                 "store_hits": self.store_hits,
                 "store_misses": self.store_misses,
+                "kernels": {
+                    "rounds": self.kernel_rounds,
+                    "kernel_accepted": self.kernel_accepted,
+                    "fallback_vertices": self.kernel_fallback,
+                    "compiled_vertices": self.kernel_compiled,
+                },
                 "incremental": {
                     "updates": self.updates,
                     "bags_dirtied": self.bags_dirtied,

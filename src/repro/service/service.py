@@ -102,6 +102,11 @@ class ServiceConfig:
     worker_threads: int = 2
     prover_workers: int = 0
     engine_workers: int = 0
+    #: Verification executor kind: any :func:`repro.api.runtime
+    #: .executor_names` entry ("serial", "parallel", "vectorized",
+    #: "shared-memory").  "serial" with ``engine_workers > 0`` keeps the
+    #: pre-PR 8 behaviour of upgrading to a resident process pool.
+    engine: str = "serial"
     byte_budget: Optional[int] = None
     #: Seconds the daemon waits for in-flight requests on shutdown.
     drain_timeout: float = 30.0
@@ -111,6 +116,14 @@ class ServiceConfig:
             raise ValueError("worker_threads must be positive")
         if self.prover_workers < 0 or self.engine_workers < 0:
             raise ValueError("pool worker counts cannot be negative")
+        from repro.api.runtime import executor_names
+
+        self.engine = self.engine.strip().lower().replace("_", "-")
+        if self.engine not in executor_names():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {', '.join(executor_names())}"
+            )
 
 
 class CertificationService:
@@ -150,14 +163,24 @@ class CertificationService:
     def _engine(self) -> VerificationEngine:
         engine = getattr(self._tls, "engine", None)
         if engine is None:
-            if self.config.engine_workers > 0:
-                executor = ParallelExecutor(
-                    max_workers=self.config.engine_workers
-                )
-                with self._lock:
-                    self._closeables.append(executor)
-            else:
+            name = self.config.engine
+            if name == "serial" and self.config.engine_workers > 0:
+                name = "parallel"  # pre-PR 8 upgrade path
+            if name == "serial":
                 executor = None
+            else:
+                from repro.api.runtime import make_executor
+
+                kwargs = {}
+                if (
+                    name in ("parallel", "shared-memory")
+                    and self.config.engine_workers > 0
+                ):
+                    kwargs["max_workers"] = self.config.engine_workers
+                executor = make_executor(name, **kwargs)
+                if hasattr(executor, "close"):
+                    with self._lock:
+                        self._closeables.append(executor)
             engine = VerificationEngine(executor)
             self._tls.engine = engine
         return engine
@@ -296,6 +319,11 @@ class CertificationService:
                         report = self.store.reverify(
                             fingerprint, prop, engine=self._engine()
                         )
+                        self.metrics.kernel_round(
+                            getattr(
+                                report.verification, "kernel_stats", None
+                            )
+                        )
                     else:
                         # Serving without the round: skip decoding the
                         # per-edge certificates too — the report JSON
@@ -342,6 +370,9 @@ class CertificationService:
 
     def _reverify_blocking(self, fingerprint: str, prop: str) -> dict:
         report = self.store.reverify(fingerprint, prop, engine=self._engine())
+        self.metrics.kernel_round(
+            getattr(report.verification, "kernel_stats", None)
+        )
         self.metrics.store_served(True)
         return {
             "fingerprint": fingerprint,
@@ -555,6 +586,10 @@ class CertificationService:
         """The ``metrics`` op's response body: every layer, one dict."""
         snap = self.metrics.snapshot()
         snap["protocol_version"] = PROTOCOL_VERSION
+        snap["engine"] = {
+            "kind": self.config.engine,
+            "workers": self.config.engine_workers,
+        }
         snap["store"] = self.store.stats()
         snap["store_metrics"] = self.store.metrics.snapshot()
         snap["stage_counters"] = self.stage_counters()

@@ -1,0 +1,455 @@
+"""Tests for the PR 8 vectorized verification hot path.
+
+The contract under test is *verdict identity*: the batched numpy
+kernels (:class:`repro.api.VectorizedExecutor`) and the shared-memory
+process-pool executor (:class:`repro.api.SharedMemoryExecutor`) must
+return exactly the reference executor's (accepted, per-vertex verdicts,
+rejecting set) on every configuration and labeling — honest or
+adversarially mutated — because kernels only *accept* when every
+reference check provably passes and everything else falls back to the
+reference ``LocalView`` path.  The differential harness runs the
+vectorized executor in ``audit`` mode, which re-checks every
+kernel-accept against the reference verifier and raises on divergence.
+
+Also covered: the executor registry (:func:`repro.api.make_executor`),
+shared-memory segment lifecycle (unlink on close / context exit / after
+an injected worker crash; attach from a fresh interpreter), the
+``AuditPlan`` engine override with the transplant-attack regression,
+the columnar bulk decoder, and the service-level engine selection.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AuditCase,
+    AuditPlan,
+    CertificationSession,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    TransplantAttack,
+    VectorizedExecutor,
+    VerificationEngine,
+    VerificationReport,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.codec import decode_labeling_columnar, encode_labeling
+from repro.core import certify_lanewidth_graph, random_lanewidth_sequence
+from repro.experiments import lanewidth_workload, seed_stream
+from repro.graphs.generators import cycle_graph
+from repro.pls import HAVE_NUMPY, RoundArrays, pack_round_arrays
+from repro.pls.adversary import (
+    corrupt_one_label,
+    drop_one_label,
+    swap_two_labels,
+)
+from repro.pls.bits import SizeContext
+from repro.pls.model import Configuration
+from repro.pls.scheme import Labeling, ProofLabelingScheme
+from repro.service.service import CertificationService, ServiceConfig
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy unavailable: kernel path cannot run"
+)
+
+
+def _case(seed: int, extra: int = 8, prop: str = "connected"):
+    rng = random.Random(seed)
+    edge_probability = 0.0 if prop != "connected" else 0.15
+    sequence = random_lanewidth_sequence(
+        3, extra, rng, edge_probability=edge_probability
+    )
+    config, scheme, labeling, _res = certify_lanewidth_graph(
+        sequence, prop, rng
+    )
+    return config, scheme, labeling
+
+
+def _assert_equivalent(config, scheme, labeling, executor=None):
+    """Reference == vectorized on verdicts, acceptance, rejecting set."""
+    serial = VerificationEngine(SerialExecutor()).verify(
+        config, scheme, labeling
+    )
+    executor = executor if executor is not None else VectorizedExecutor(
+        audit=True
+    )
+    vectorized = VerificationEngine(executor).verify(config, scheme, labeling)
+    assert vectorized.verdicts == serial.verdicts
+    assert vectorized.accepted == serial.accepted
+    assert sorted(vectorized.rejecting_vertices, key=repr) == sorted(
+        serial.rejecting_vertices, key=repr
+    )
+    return serial, vectorized
+
+
+class VertexScheme(ProofLabelingScheme):
+    """A non-Theorem-1 scheme: must run entirely on the reference path."""
+
+    label_location = "vertices"
+
+    def prove(self, config):
+        return Labeling(
+            "vertices",
+            {v: 1 for v in config.graph.vertices()},
+            SizeContext(config.n),
+        )
+
+    def verify(self, view):
+        return view.own_certificate == 1
+
+    def label_size_bits(self, label, ctx):
+        return 1
+
+
+class TestExecutorRegistry:
+    def test_names(self):
+        names = executor_names()
+        for kind in ("serial", "parallel", "vectorized", "shared-memory"):
+            assert kind in names
+
+    def test_make_executor_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("vectorized"), VectorizedExecutor)
+        shm = make_executor("shared_memory", max_workers=2)
+        assert isinstance(shm, SharedMemoryExecutor)  # canonicalized
+        shm.close()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("quantum")
+
+    def test_register_custom(self):
+        class Custom(SerialExecutor):
+            name = "custom-test"
+
+        register_executor("custom-test", Custom)
+        assert "custom-test" in executor_names()
+        assert isinstance(make_executor("custom-test"), Custom)
+
+
+@needs_numpy
+class TestVectorizedDifferential:
+    """The hypothesis harness: vectorized ≡ reference, audit on."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_honest_and_mutated_agree(self, seed):
+        config, scheme, labeling = _case(seed)
+        rng = random.Random(seed)
+        candidates = [
+            labeling,
+            corrupt_one_label(labeling, rng),
+            swap_two_labels(labeling, rng),
+            drop_one_label(labeling, rng),
+        ]
+        for candidate in candidates:
+            _assert_equivalent(config, scheme, candidate)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=4, deadline=None)
+    def test_property_zoo_agrees(self, seed):
+        for prop in ("acyclic", "bipartite"):
+            config, scheme, labeling = _case(seed, prop=prop)
+            rng = random.Random(seed)
+            for candidate in (labeling, corrupt_one_label(labeling, rng)):
+                _assert_equivalent(config, scheme, candidate)
+
+    def test_honest_round_is_fully_kernel_accepted(self):
+        config, scheme, labeling = _case(21, extra=12)
+        _, report = _assert_equivalent(config, scheme, labeling)
+        stats = report.kernel_stats
+        assert stats["mode"] == "kernel"
+        assert stats["engine"] == "vectorized"
+        assert stats["kernel_accepted"] == config.graph.n
+        assert stats["fallback_vertices"] == 0
+        assert stats["compiled_vertices"] == config.graph.n
+
+    def test_mutation_exercises_reference_fallback(self):
+        """A dropped label cannot be kernel-accepted: it must be flagged
+        into the reference path, and the verdicts still match."""
+        config, scheme, labeling = _case(22, extra=12)
+        bad = drop_one_label(labeling, random.Random(22))
+        _, report = _assert_equivalent(config, scheme, bad)
+        assert report.kernel_stats["mode"] == "kernel"
+        assert report.kernel_stats["fallback_vertices"] >= 1
+        assert not report.accepted
+
+    def test_non_theorem1_scheme_runs_on_reference(self):
+        scheme = VertexScheme()
+        config = Configuration.with_random_ids(
+            cycle_graph(6), random.Random(23)
+        )
+        labeling = scheme.prove(config)
+        serial, report = _assert_equivalent(config, scheme, labeling)
+        assert report.kernel_stats["mode"] == "reference"
+        assert "profile" in report.kernel_stats["reason"]
+        assert report.accepted and serial.accepted
+
+    def test_kernel_stats_survive_json_round_trip(self):
+        config, scheme, labeling = _case(24)
+        report = VerificationEngine(VectorizedExecutor()).verify(
+            config, scheme, labeling
+        )
+        data = json.loads(json.dumps(report.to_dict()))
+        back = VerificationReport.from_dict(data)
+        assert back.kernel_stats == report.kernel_stats
+        assert back.kernel_stats["mode"] == "kernel"
+
+
+@needs_numpy
+class TestSharedMemoryExecutor:
+    def test_verdicts_match_serial(self):
+        config, scheme, labeling = _case(31, extra=12)
+        rng = random.Random(31)
+        with SharedMemoryExecutor(max_workers=2) as executor:
+            for candidate in (labeling, corrupt_one_label(labeling, rng)):
+                _assert_equivalent(config, scheme, candidate, executor)
+
+    def test_close_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        config, scheme, labeling = _case(32)
+        executor = SharedMemoryExecutor(max_workers=2)
+        report = VerificationEngine(executor).verify(config, scheme, labeling)
+        assert report.accepted
+        names = executor.segment_names()
+        assert len(names) == 2  # arrays segment + verifier blob segment
+        executor.close()
+        assert executor.segment_names() == []
+        for name in names:
+            # The no-leak assertion: the named segment is gone.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_context_exit_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        config, scheme, labeling = _case(33)
+        with SharedMemoryExecutor(max_workers=2) as executor:
+            VerificationEngine(executor).verify(config, scheme, labeling)
+            names = executor.segment_names()
+            assert names
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_worker_crash_recovers_and_unlinks(self, monkeypatch):
+        """An injected worker crash (os._exit) must not leak segments:
+        the round recovers serially in the parent with correct verdicts
+        and every published segment is unlinked."""
+        from multiprocessing import shared_memory
+
+        monkeypatch.setenv("REPRO_SHM_CRASH", "1")
+        config, scheme, labeling = _case(34)
+        executor = SharedMemoryExecutor(max_workers=2)
+        try:
+            report = VerificationEngine(executor).verify(
+                config, scheme, labeling
+            )
+            names_after = executor.segment_names()
+            assert names_after == []  # crash path closed them already
+            assert report.accepted
+            assert report.kernel_stats["mode"] == "reference"
+            assert report.kernel_stats["reason"] == "worker pool crashed"
+            serial = VerificationEngine(SerialExecutor()).verify(
+                config, scheme, labeling
+            )
+            assert report.verdicts == serial.verdicts
+        finally:
+            executor.close()
+
+    def test_fresh_interpreter_attaches_by_name(self):
+        """A brand-new python process can attach to a published segment
+        by name alone and rebuild the round arrays zero-copy."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        arrays = RoundArrays(
+            n=3,
+            m=2,
+            indptr=np.asarray([0, 1, 2, 4], dtype=np.int64),
+            neighbors=np.asarray([1, 2, 0, 1], dtype=np.int64),
+            incident=np.asarray([0, 1, 0, 1], dtype=np.int64),
+            identifiers=np.asarray([10, 20, 30], dtype=np.int64),
+        )
+        packed = pack_round_arrays(arrays, [2, 0, 1])
+        segment = shared_memory.SharedMemory(
+            create=True, size=int(packed.nbytes)
+        )
+        try:
+            np.frombuffer(segment.buf, dtype=np.int64)[
+                : packed.shape[0]
+            ] = packed
+            script = (
+                "import sys, numpy as np\n"
+                "from repro.api.vectorized import _shm_attach\n"
+                "from repro.pls import unpack_round_arrays\n"
+                "segment = _shm_attach(sys.argv[1])\n"
+                "flat = np.frombuffer(segment.buf, dtype=np.int64)\n"
+                "arrays, order = unpack_round_arrays(flat)\n"
+                "out = (arrays.n, arrays.m, [int(x) for x in order])\n"
+                "print(*out[:2], out[2])\n"
+                "del arrays, order, flat\n"
+                "segment.close()\n"
+            )
+            src_root = str(Path(__file__).resolve().parents[1] / "src")
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_root, env.get("PYTHONPATH", "")]
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script, segment.name],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            assert result.stdout.strip() == "3 2 [2, 0, 1]"
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+@needs_numpy
+class TestAuditPlanEngine:
+    @staticmethod
+    def _transplant_plan(engine=None):
+        def case_factory(trial, rng):
+            sequence = random_lanewidth_sequence(
+                3, 10, rng, edge_probability=0.0
+            )
+            config, scheme, labeling, _res = certify_lanewidth_graph(
+                sequence, "acyclic", rng
+            )
+            return AuditCase(config, scheme, labeling, trial)
+
+        def targets(trial, rng):
+            return Configuration.with_random_ids(cycle_graph(12), rng)
+
+        return AuditPlan(
+            case_factory=case_factory,
+            attacks=[TransplantAttack(targets)],
+            trials=6,
+            root_seed=19,
+            name="transplant-engines",
+            engine=engine,
+        )
+
+    def test_transplant_caught_identically_under_both_engines(self):
+        """Right proof, wrong graph — the campaign must replay to the
+        same per-attempt outcomes whether the round runs on the
+        reference executor or the vectorized kernels."""
+        baseline = self._transplant_plan().run()
+        vectorized = self._transplant_plan("vectorized").run()
+        assert [a.outcome for a in baseline.attempts] == [
+            a.outcome for a in vectorized.attempts
+        ]
+        tally = vectorized.tally("transplant")
+        assert tally.attempted > 0
+        assert tally.all_rejected
+        assert baseline.tallies == vectorized.tallies
+
+    def test_run_engine_override_wins(self):
+        plan = self._transplant_plan("serial")
+        report = plan.run(engine="vectorized")
+        assert report.tally("transplant").all_rejected
+
+    def test_resolve_engine_kinds(self):
+        plan = self._transplant_plan()
+        assert isinstance(
+            plan.resolve_engine().executor, SerialExecutor
+        )
+        assert isinstance(
+            plan.resolve_engine("vectorized").executor, VectorizedExecutor
+        )
+        custom = VerificationEngine(VectorizedExecutor())
+        assert plan.resolve_engine(custom) is custom
+
+
+class TestColumnarDecode:
+    def test_equals_reference_decode_with_sharing(self):
+        _config, _scheme, labeling = _case(41, extra=12)
+        encoded = encode_labeling(labeling)
+        reference = encoded.decode()
+        columnar = decode_labeling_columnar(encoded)
+        assert columnar.location == reference.location
+        assert columnar.mapping == reference.mapping
+        assert columnar.size_context.n == reference.size_context.n
+
+        def distinct_records(mapping):
+            seen = set()
+            for label in mapping.values():
+                for record in label.certificate.stack:
+                    seen.add(id(record))
+                for embedded in label.embedded:
+                    for record in embedded.payload.stack:
+                        seen.add(id(record))
+            return len(seen)
+
+        assert distinct_records(columnar.mapping) <= distinct_records(
+            reference.mapping
+        )
+
+    @needs_numpy
+    def test_store_reverify_round_trips_through_columnar(self):
+        """The store decodes via the columnar path since PR 8; a full
+        persist → rehydrate → vectorized round must still accept."""
+        from repro.api import CertificateStore
+
+        with tempfile.TemporaryDirectory() as root:
+            store = CertificateStore(root)
+            sequence, _graph = lanewidth_workload(3, 32, 3)
+            session = CertificationSession(
+                rng=seed_stream(8, "ids").rng(3), store=store
+            )
+            session.certify(sequence, "connected", verify=False)
+            fingerprint, prop, _path = store.entries()[0]
+            stored = store.reverify(
+                fingerprint,
+                prop,
+                engine=VerificationEngine(VectorizedExecutor(audit=True)),
+            )
+            assert stored.accepted
+            assert stored.verification.kernel_stats["mode"] == "kernel"
+
+
+@needs_numpy
+class TestServiceEngine:
+    def test_config_validates_and_canonicalizes(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ServiceConfig(store_root=tmp_path, engine="bogus")
+        config = ServiceConfig(store_root=tmp_path, engine="Shared_Memory")
+        assert config.engine == "shared-memory"
+
+    def test_vectorized_service_reverify(self, tmp_path):
+        config = ServiceConfig(store_root=tmp_path, engine="vectorized")
+        service = CertificationService(config)
+        try:
+            sequence, _graph = lanewidth_workload(3, 32, 5)
+            session = CertificationSession(
+                rng=seed_stream(8, "ids").rng(5), store=service.store
+            )
+            session.certify(sequence, "connected", verify=False)
+            fingerprint, prop, _path = service.store.entries()[0]
+            body = service._reverify_blocking(fingerprint, prop)
+            stats = body["reports"][prop]["verification"]["kernel_stats"]
+            assert stats["engine"] == "vectorized"
+            assert stats["kernel_accepted"] == 32
+            snap = service.snapshot()
+            assert snap["engine"]["kind"] == "vectorized"
+            assert snap["kernels"]["rounds"] == 1
+            assert snap["kernels"]["kernel_accepted"] == 32
+        finally:
+            service.close_blocking()
