@@ -1,0 +1,279 @@
+"""E13 — exact decomposition engines: branch-and-bound vs DP vs heuristic.
+
+Three series, one per claim the PR 9 engine makes:
+
+* **small** (n ≤ 14, the old ``_EXACT_LIMIT`` regime): the
+  branch-and-bound width must equal the subset-DP optimum on *every*
+  case — asserted, not just recorded — with wall-clock for both engines
+  and the heuristic portfolio's width alongside;
+* **scale** (planted ``random_pathwidth_graph`` instances far past the
+  DP's 2^n wall): the search must *prove* optimality within the budget
+  (default: n=50, pathwidth ≤ 6, 10 s) — the regime where the subset DP
+  is simply infeasible (2^50 states);
+* **e2e** (end-to-end certification buckets): ``certify`` runs twice on
+  graphs where the heuristic portfolio is measurably suboptimal — once
+  heuristic-only (no budget) and once with ``exact_budget_ms`` — and the
+  series records achieved width, hierarchy depth, and measured label
+  bits for both.  The E1/E4 benches are lanewidth workloads with no
+  decompose stage, so this is where the decomposition engine's
+  downstream effect on depth/bits lives.  Gate: the budgeted width is
+  never worse than the heuristic's.
+
+Output follows the house pattern: a ``BENCH_JSON`` line on stdout plus
+a JSON file (``E13_OUT``, default ``BENCH_E13.json`` in the working
+directory; the committed baseline at ``benchmarks/BENCH_E13.json`` is
+refused unless ``E13_OUT`` names it explicitly).
+
+Environment knobs (CI's smoke step shrinks everything):
+``E13_SMALL_SIZES``, ``E13_SMALL_TRIALS``, ``E13_SCALE_N``,
+``E13_SCALE_K``, ``E13_SCALE_TRIALS``, ``E13_SCALE_BUDGET_MS``,
+``E13_E2E_BUCKETS`` (``n:p:seed`` triples, comma-separated; empty
+skips the series), ``E13_E2E_BUDGET_MS``, ``E13_OUT``.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.api import certify
+from repro.experiments import Table
+from repro.graphs import Graph
+from repro.graphs.generators import random_pathwidth_graph
+from repro.pathwidth import branch_and_bound_ordering, exact_pathwidth
+from repro.pathwidth.heuristics import heuristic_path_decomposition
+
+SMALL_SIZES = tuple(
+    int(n) for n in os.environ.get("E13_SMALL_SIZES", "8,11,14").split(",")
+)
+SMALL_TRIALS = int(os.environ.get("E13_SMALL_TRIALS", "3"))
+SCALE_N = int(os.environ.get("E13_SCALE_N", "50"))
+SCALE_K = int(os.environ.get("E13_SCALE_K", "6"))
+SCALE_TRIALS = int(os.environ.get("E13_SCALE_TRIALS", "5"))
+SCALE_BUDGET_MS = float(os.environ.get("E13_SCALE_BUDGET_MS", "10000"))
+E2E_BUCKETS = os.environ.get("E13_E2E_BUCKETS", "40:0.07:4,40:0.07:5,60:0.05:4")
+E2E_BUDGET_MS = float(os.environ.get("E13_E2E_BUDGET_MS", "4000"))
+OUT_PATH = os.environ.get("E13_OUT", "BENCH_E13.json")
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_E13.json")
+
+
+def _gnp(seed: int, n: int, p: float) -> Graph:
+    """A connected G(n, p) draw (reseeded until connected)."""
+    rng = random.Random(seed)
+    while True:
+        g = Graph(vertices=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    g.add_edge(u, v)
+        if g.is_connected():
+            return g
+
+
+def _small_series():
+    table = Table(
+        "E13a: B&B vs DP vs heuristic (n <= 14)",
+        ["n", "seed", "width", "dp_s", "bnb_s", "heur_width"],
+    )
+    series = []
+    for n in SMALL_SIZES:
+        for seed in range(SMALL_TRIALS):
+            g = _gnp(seed, n, 0.3)
+            t0 = time.perf_counter()
+            dp_width = exact_pathwidth(g, engine="dp")
+            dp_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = branch_and_bound_ordering(g)
+            bnb_s = time.perf_counter() - t0
+            heur_width = heuristic_path_decomposition(g).width()
+            # The headline gate: B&B matches the DP optimum everywhere.
+            assert result.optimal
+            assert result.width == dp_width, (
+                f"B&B width {result.width} != DP width {dp_width} "
+                f"on n={n} seed={seed}"
+            )
+            assert result.width <= heur_width
+            series.append(
+                {
+                    "n": n,
+                    "seed": seed,
+                    "width": dp_width,
+                    "dp_s": round(dp_s, 6),
+                    "bnb_s": round(bnb_s, 6),
+                    "heuristic_width": heur_width,
+                    "nodes_expanded": result.stats.nodes_expanded,
+                    "memo_hits": result.stats.memo_hits,
+                }
+            )
+            table.add(
+                n,
+                seed,
+                dp_width,
+                f"{dp_s:.4f}",
+                f"{bnb_s:.4f}",
+                heur_width,
+            )
+    table.show()
+    return series
+
+
+def _scale_series():
+    table = Table(
+        f"E13b: planted n={SCALE_N}, pathwidth <= {SCALE_K} "
+        f"(budget {SCALE_BUDGET_MS:g} ms; DP infeasible at 2^n states)",
+        ["seed", "heur_width", "bnb_width", "optimal", "bnb_s", "nodes"],
+    )
+    series = []
+    for seed in range(SCALE_TRIALS):
+        g, _bags = random_pathwidth_graph(
+            SCALE_N, SCALE_K, rng=random.Random(seed)
+        )
+        heur_width = heuristic_path_decomposition(g).width()
+        t0 = time.perf_counter()
+        result = branch_and_bound_ordering(g, budget_ms=SCALE_BUDGET_MS)
+        bnb_s = time.perf_counter() - t0
+        assert result.width <= heur_width
+        assert result.width <= SCALE_K
+        # The scale gate: optimality *proven* within budget, in a size
+        # regime the subset DP cannot touch.
+        assert result.optimal, (
+            f"budget {SCALE_BUDGET_MS}ms expired on seed {seed} "
+            f"(incumbent width {result.width})"
+        )
+        series.append(
+            {
+                "n": SCALE_N,
+                "k": SCALE_K,
+                "seed": seed,
+                "heuristic_width": heur_width,
+                "bnb_width": result.width,
+                "optimal": result.optimal,
+                "bnb_s": round(bnb_s, 6),
+                "nodes_expanded": result.stats.nodes_expanded,
+                "memo_hits": result.stats.memo_hits,
+                "lower_bound": result.stats.lower_bound,
+            }
+        )
+        table.add(
+            seed,
+            heur_width,
+            result.width,
+            result.optimal,
+            f"{bnb_s:.3f}",
+            result.stats.nodes_expanded,
+        )
+    table.show()
+    return series
+
+
+def _e2e_series():
+    """Certification buckets: heuristic-only vs budgeted-B&B witness."""
+    table = Table(
+        "E13c: end-to-end certify (heuristic vs bnb witness)",
+        [
+            "n",
+            "seed",
+            "h_width",
+            "b_width",
+            "h_depth",
+            "b_depth",
+            "h_bits",
+            "b_bits",
+        ],
+    )
+    series = []
+    buckets = [b for b in E2E_BUCKETS.split(",") if b]
+    for bucket in buckets:
+        n_str, p_str, seed_str = bucket.split(":")
+        n, p, seed = int(n_str), float(p_str), int(seed_str)
+        g = _gnp(seed, n, p)
+        heur_width = heuristic_path_decomposition(g).width()
+        # Same k bound for both runs, so only the witness engine varies.
+        k = heur_width
+        rng_ids = random.Random(seed)
+        heuristic = certify(
+            g, "connected", k=k, rng=random.Random(rng_ids.random()),
+            verify=False,
+        )
+        budgeted = certify(
+            g, "connected", k=k, rng=random.Random(rng_ids.random()),
+            verify=False, exact_budget_ms=E2E_BUDGET_MS,
+        )
+        assert not heuristic.refused and not budgeted.refused
+        h_stats = heuristic.decomposition_stats
+        b_stats = budgeted.decomposition_stats
+        assert h_stats["engine"] == "heuristic"
+        assert b_stats["engine"] == "bnb"
+        # The CI gate: the budgeted witness is never wider.
+        assert b_stats["width"] <= h_stats["width"], (
+            f"bnb width {b_stats['width']} exceeds heuristic "
+            f"{h_stats['width']} on n={n} seed={seed}"
+        )
+        series.append(
+            {
+                "n": n,
+                "p": p,
+                "seed": seed,
+                "k": k,
+                "heuristic": {
+                    "width": h_stats["width"],
+                    "hierarchy_depth": heuristic.hierarchy_depth,
+                    "total_label_bits": heuristic.total_label_bits,
+                    "max_label_bits": heuristic.max_label_bits,
+                },
+                "bnb": {
+                    "width": b_stats["width"],
+                    "optimal": b_stats["optimal"],
+                    "hierarchy_depth": budgeted.hierarchy_depth,
+                    "total_label_bits": budgeted.total_label_bits,
+                    "max_label_bits": budgeted.max_label_bits,
+                    "nodes_expanded": b_stats.get("nodes_expanded"),
+                },
+            }
+        )
+        table.add(
+            n,
+            seed,
+            h_stats["width"],
+            b_stats["width"],
+            heuristic.hierarchy_depth,
+            budgeted.hierarchy_depth,
+            heuristic.total_label_bits,
+            budgeted.total_label_bits,
+        )
+    table.show()
+    return series
+
+
+def test_e13_decomposition(benchmark):
+    payload = {
+        "bench": "e13_decomposition",
+        "small": _small_series(),
+        "scale": _scale_series(),
+        "e2e": _e2e_series(),
+    }
+    improved = sum(
+        1
+        for row in payload["e2e"]
+        if row["bnb"]["width"] < row["heuristic"]["width"]
+    )
+    payload["e2e_width_improvements"] = improved
+
+    if (
+        "E13_OUT" not in os.environ
+        and os.path.abspath(OUT_PATH) == os.path.abspath(BASELINE_PATH)
+    ):
+        raise RuntimeError(
+            "refusing to overwrite the committed baseline "
+            f"{BASELINE_PATH}; set E13_OUT to refresh it deliberately"
+        )
+    with open(OUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("BENCH_JSON " + json.dumps(payload, sort_keys=True))
+
+    # Time the smallest planted instance so the smoke run stays tiny.
+    g, _bags = random_pathwidth_graph(
+        min(SCALE_N, 30), min(SCALE_K, 3), rng=random.Random(0)
+    )
+    benchmark(branch_and_bound_ordering, g, 5_000)

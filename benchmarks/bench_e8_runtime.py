@@ -44,6 +44,7 @@ import tempfile
 import time
 
 from repro.api import (
+    ArtifactCache,
     CertificateStore,
     CertificationSession,
     VerificationEngine,
@@ -135,6 +136,35 @@ def test_e8_runtime(benchmark):
                 shm, config, scheme, labeling
             )
             shm_steady_s = _steady(shm, config, scheme, labeling)
+            # PR 9: fresh-process pack reuse.  A disk-backed artifact
+            # cache persists the packed RoundArrays columns, so a
+            # brand-new executor's cold round (a restarted process)
+            # skips re-packing.  Gated on kernel_stats, not wall-clock:
+            # the restart round must report arrays_cached=True.
+            arrays_root = os.path.join(root, f"arrays-{n}")
+            vec_persist = VerificationEngine(
+                make_executor(
+                    "vectorized", artifacts=ArtifactCache(root=arrays_root)
+                )
+            )
+            persist_report, persist_cold_s = _timed_verify(
+                vec_persist, config, scheme, labeling
+            )
+            vec_restart = VerificationEngine(
+                make_executor(
+                    "vectorized", artifacts=ArtifactCache(root=arrays_root)
+                )
+            )
+            restart_report, restart_cold_s = _timed_verify(
+                vec_restart, config, scheme, labeling
+            )
+            if (persist_report.kernel_stats or {}).get("mode") == "kernel":
+                assert (
+                    persist_report.kernel_stats.get("arrays_cached") is False
+                ), "first cold round unexpectedly found a cached pack"
+                assert (
+                    restart_report.kernel_stats.get("arrays_cached") is True
+                ), "restarted executor re-packed despite the artifact cache"
             # Stored path: decode from disk + run the round, no prover.
             fingerprint = config.graph.fingerprint()
             t3 = time.perf_counter()
@@ -143,7 +173,13 @@ def test_e8_runtime(benchmark):
             assert serial_report.accepted
             # Scheduling must not change semantics (the smoke step's
             # every-executor == serial verdict assertion).
-            for other in (parallel_report, vec_report, shm_report):
+            for other in (
+                parallel_report,
+                vec_report,
+                shm_report,
+                persist_report,
+                restart_report,
+            ):
                 assert other.verdicts == serial_report.verdicts
                 assert other.accepted == serial_report.accepted
             assert serial_report.views_built == n
@@ -178,6 +214,12 @@ def test_e8_runtime(benchmark):
                         "cold_s": round(shm_cold_s, 6),
                         "steady_s": round(shm_steady_s, 6),
                         "kernel_stats": shm_report.kernel_stats,
+                    },
+                    {
+                        "kind": "vectorized+artifacts",
+                        "cold_s": round(persist_cold_s, 6),
+                        "restart_cold_s": round(restart_cold_s, 6),
+                        "kernel_stats": restart_report.kernel_stats,
                     },
                 ],
             }

@@ -41,6 +41,8 @@ def certify(
     rng: Optional[random.Random] = None,
     decomposer: Optional[Callable] = None,
     exact_limit: Optional[int] = None,
+    exact_engine: Optional[str] = None,
+    exact_budget_ms: Optional[float] = None,
     session: Optional[CertificationSession] = None,
     verify: bool = True,
     engine: Optional[VerificationEngine] = None,
@@ -70,6 +72,14 @@ def certify(
     exact_limit:
         Exact-decomposition cutoff for the default decomposer (see
         :class:`repro.api.pipeline.DecomposeStage`).
+    exact_engine:
+        Exact decomposition engine — ``"bnb"`` (branch-and-bound,
+        default) or ``"dp"`` (legacy subset DP).
+    exact_budget_ms:
+        Wall-clock budget authorizing exact branch-and-bound attempts on
+        graphs above ``exact_limit``; a timeout falls back to the best
+        incumbent (never worse than the heuristic), recorded in
+        ``report.decomposition_stats``.
     session:
         Reuse an existing session (and its structural cache) instead of
         creating a fresh one.
@@ -109,6 +119,8 @@ def certify(
             k=k,
             decomposer=decomposer,
             exact_limit=exact_limit,
+            exact_engine=exact_engine,
+            exact_budget_ms=exact_budget_ms,
             rng=rng,
             engine=engine,
             store=store,
@@ -123,6 +135,8 @@ def certify(
             ("k", k),
             ("decomposer", decomposer),
             ("exact_limit", exact_limit),
+            ("exact_engine", exact_engine),
+            ("exact_budget_ms", exact_budget_ms),
             ("engine", engine),
             ("store", store),
             ("prover", prover),

@@ -45,6 +45,10 @@ from repro.core.lanewidth import (
 )
 from repro.core.scheme import CertifyingScheme
 from repro.courcelle.registry import resolve_algebra
+from repro.pathwidth.branch_and_bound import (
+    branch_and_bound_decomposition,
+    ordering_from_decomposition,
+)
 from repro.pathwidth.exact import exact_path_decomposition
 from repro.pathwidth.heuristics import heuristic_path_decomposition
 from repro.pls.bits import ClassIndexer, SizeContext
@@ -53,12 +57,18 @@ from repro.pls.scheme import Labeling, ProverFailure
 
 from repro.api.results import StageTiming
 
-#: Default instance-size cutoff below which :class:`DecomposeStage` runs
-#: the exact O(2^n) vertex-separation DP instead of the heuristic
-#: portfolio.  Overridable per stage (``DecomposeStage(exact_limit=...)``),
-#: per scheme (``Theorem1Scheme(..., exact_limit=...)``), and through the
+#: Default instance-size cutoff below which :class:`DecomposeStage`
+#: always runs an exact engine to completion.  Above it, exact search
+#: only happens when an ``exact_budget_ms`` deadline authorizes a
+#: budgeted branch-and-bound attempt.  Overridable per stage
+#: (``DecomposeStage(exact_limit=...)``), per scheme
+#: (``Theorem1Scheme(..., exact_limit=...)``), and through the
 #: facade/session ``exact_limit`` keyword.
 DEFAULT_EXACT_DECOMPOSITION_LIMIT = 14
+
+#: Default exact decomposition engine: the branch-and-bound vertex
+#: separation search (``"bnb"``); ``"dp"`` selects the legacy subset DP.
+DEFAULT_EXACT_ENGINE = "bnb"
 
 #: Stage names whose artifacts depend only on the graph (memoizable).
 STRUCTURAL_STAGES = ("decompose", "lanes", "completion", "match", "hierarchy")
@@ -84,6 +94,9 @@ class PipelineContext:
     hierarchy_depth: Optional[int] = None
     embedding: Optional[Embedding] = None
     max_width: Optional[int] = None
+    #: How the witness decomposition was obtained (engine, widths,
+    #: search counters) — see :meth:`DecomposeStage.default_decomposer`.
+    decomposition_stats: Optional[dict] = None
 
     # Property-specific artifacts.
     evaluation: object = None  # HierarchyEvaluation
@@ -168,23 +181,35 @@ class DecomposeStage(Stage):
         Optional override ``graph -> PathDecomposition`` (generators that
         already know a witness pass it here and skip the search).
     exact_limit:
-        Instances with ``n <= exact_limit`` use the exact exponential
-        vertex-separation DP; larger ones fall back to the heuristic
-        portfolio.  ``None`` means
-        :data:`DEFAULT_EXACT_DECOMPOSITION_LIMIT`.  The exact DP is
-        ground truth but O(2^n), so raising this trades completeness on
-        borderline instances against prover time.
+        Instances with ``n <= exact_limit`` always get a *complete* exact
+        search.  Larger ones get a budgeted branch-and-bound attempt when
+        ``exact_budget_ms`` is set, and the heuristic portfolio
+        otherwise.  ``None`` means
+        :data:`DEFAULT_EXACT_DECOMPOSITION_LIMIT`.
+    exact_engine:
+        ``"bnb"`` (default) — the branch-and-bound vertex-separation
+        search, no intrinsic size cap; ``"dp"`` — the legacy O(2^n)
+        subset DP, still hard-gated at ``exact_limit``.
+    exact_budget_ms:
+        Wall-clock budget for exact search above ``exact_limit``
+        (``"bnb"`` only).  The search is seeded with the heuristic
+        incumbent, so a timeout falls back to an ordering at least as
+        good as the heuristic's, with the attempt recorded in the
+        ``decomposition_stats`` artifact.  ``None`` (default) disables
+        exact attempts above the limit.
     """
 
     name = "decompose"
     inputs = ("graph",)
-    outputs = ("decomposition", "max_width")
+    outputs = ("decomposition", "max_width", "decomposition_stats")
 
     def __init__(
         self,
         k: int,
         decomposer: Optional[Callable] = None,
         exact_limit: Optional[int] = None,
+        exact_engine: Optional[str] = None,
+        exact_budget_ms: Optional[float] = None,
     ):
         if k < 1:
             raise ValueError("pathwidth bound must be at least 1")
@@ -192,33 +217,101 @@ class DecomposeStage(Stage):
             exact_limit = DEFAULT_EXACT_DECOMPOSITION_LIMIT
         if exact_limit < 0:
             raise ValueError("exact_limit must be non-negative")
+        if exact_engine is None:
+            exact_engine = DEFAULT_EXACT_ENGINE
+        if exact_engine not in ("bnb", "dp"):
+            raise ValueError(
+                f"unknown exact_engine {exact_engine!r}; expected 'bnb' or 'dp'"
+            )
+        if exact_budget_ms is not None and exact_budget_ms <= 0:
+            raise ValueError("exact_budget_ms must be positive")
         self.k = k
         self.decomposer = decomposer
         self.exact_limit = exact_limit
+        self.exact_engine = exact_engine
+        self.exact_budget_ms = exact_budget_ms
+
+    def _engine_params(self):
+        return (
+            "k", self.k, "exact_limit", self.exact_limit,
+            "exact_engine", self.exact_engine,
+            "exact_budget_ms", self.exact_budget_ms,
+        )
 
     def plan_params(self):
         if self.decomposer is None:
-            return (("k", self.k, "exact_limit", self.exact_limit), True)
+            return (self._engine_params(), True)
         # An explicit witness decomposer is arbitrary code; a declared
         # ``cache_key`` makes its artifacts persistable, otherwise they
         # are keyed by object identity and stay memory-only.
         cache_key = getattr(self.decomposer, "cache_key", None)
         if cache_key is not None:
             return (
-                ("k", self.k, "exact_limit", self.exact_limit,
-                 "decomposer", str(cache_key)),
+                self._engine_params() + ("decomposer", str(cache_key)),
                 True,
             )
         return (
-            ("k", self.k, "exact_limit", self.exact_limit,
-             "decomposer-id", id(self.decomposer)),
+            self._engine_params() + ("decomposer-id", id(self.decomposer)),
             False,
         )
 
     def default_decomposer(self, graph):
-        if graph.n <= self.exact_limit:
-            return exact_path_decomposition(graph)
-        return heuristic_path_decomposition(graph)
+        """Return ``(decomposition, stats)`` for the configured engine.
+
+        ``stats`` is a plain dict recording which engine produced the
+        witness, the achieved vs heuristic width, and (for the
+        branch-and-bound) the search counters.  It travels through the
+        plan cache as the ``decomposition_stats`` artifact and surfaces
+        in :class:`~repro.api.results.CertificationReport`.
+        """
+        if self.exact_engine == "dp":
+            if graph.n <= self.exact_limit:
+                decomposition = exact_path_decomposition(graph, engine="dp")
+                return decomposition, {
+                    "engine": "dp",
+                    "optimal": True,
+                    "width": decomposition.width(),
+                }
+            decomposition = heuristic_path_decomposition(graph)
+            return decomposition, {
+                "engine": "heuristic",
+                "optimal": False,
+                "width": decomposition.width(),
+                "heuristic_width": decomposition.width(),
+            }
+        # engine == "bnb": complete search below the size gate, budgeted
+        # attempt above it when authorized, heuristic otherwise.
+        if graph.n > self.exact_limit and self.exact_budget_ms is None:
+            decomposition = heuristic_path_decomposition(graph)
+            return decomposition, {
+                "engine": "heuristic",
+                "optimal": False,
+                "width": decomposition.width(),
+                "heuristic_width": decomposition.width(),
+            }
+        seed_ordering = None
+        heuristic_width = None
+        if graph.n > self.exact_limit:
+            seeded = heuristic_path_decomposition(graph)
+            heuristic_width = seeded.width()
+            seed_ordering = ordering_from_decomposition(seeded)
+        decomposition, result = branch_and_bound_decomposition(
+            graph,
+            budget_ms=self.exact_budget_ms,
+            seed_ordering=seed_ordering,
+        )
+        if heuristic_width is None:
+            # Small instances skip the explicit portfolio run; the search
+            # seeds itself, and its seed width is the heuristic width.
+            heuristic_width = result.stats.seed_width
+        stats = {
+            "engine": "bnb",
+            "optimal": result.optimal,
+            "width": decomposition.width(),
+            "heuristic_width": heuristic_width,
+        }
+        stats.update(result.stats.to_dict())
+        return decomposition, stats
 
     def run(self, ctx: PipelineContext) -> None:
         graph = ctx.graph
@@ -226,14 +319,29 @@ class DecomposeStage(Stage):
             raise ProverFailure("certification needs at least two vertices")
         if not graph.is_connected():
             raise ProverFailure("the network must be connected")
-        decomposer = self.decomposer or self.default_decomposer
-        decomposition = decomposer(graph)
+        if self.decomposer is not None:
+            produced = self.decomposer(graph)
+            # Custom decomposers may return a bare decomposition or
+            # delegate to ``default_decomposer`` and return its
+            # ``(decomposition, stats)`` pair.
+            if isinstance(produced, tuple):
+                decomposition, stats = produced
+            else:
+                decomposition = produced
+                stats = {
+                    "engine": "witness",
+                    "optimal": None,
+                    "width": decomposition.width(),
+                }
+        else:
+            decomposition, stats = self.default_decomposer(graph)
         if decomposition.width() > self.k:
             raise ProverFailure(
                 f"no witness decomposition of width <= {self.k} found "
                 f"(got {decomposition.width()})"
             )
         ctx.decomposition = decomposition
+        ctx.decomposition_stats = stats
         ctx.max_width = f_bound(self.k + 1)
 
 
@@ -430,10 +538,18 @@ def theorem1_stages(
     algebra=None,
     decomposer: Optional[Callable] = None,
     exact_limit: Optional[int] = None,
+    exact_engine: Optional[str] = None,
+    exact_budget_ms: Optional[float] = None,
 ) -> list:
     """The full Theorem 1 stage list for pathwidth-bounded certification."""
     return [
-        DecomposeStage(k, decomposer=decomposer, exact_limit=exact_limit),
+        DecomposeStage(
+            k,
+            decomposer=decomposer,
+            exact_limit=exact_limit,
+            exact_engine=exact_engine,
+            exact_budget_ms=exact_budget_ms,
+        ),
         LaneStage(),
         CompletionStage(),
         HierarchyStage(),

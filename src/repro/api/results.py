@@ -96,6 +96,12 @@ class CertificationReport:
     stage_counters: dict = field(default_factory=dict)
     #: True when the structural stages were served from the session cache.
     structure_cached: bool = False
+    #: How the witness decomposition was obtained (``None`` in lanewidth
+    #: mode or on refusal before the decompose stage): engine name
+    #: ("bnb"/"dp"/"heuristic"/"witness"), achieved vs heuristic width,
+    #: and — for the branch-and-bound — nodes expanded, memo hits,
+    #: optimality/timeout flags.
+    decomposition_stats: Optional[dict] = None
 
     #: Structured record of the verification round (``None`` when the
     #: prover refused or the round was skipped via ``verify=False``).
@@ -153,6 +159,11 @@ class CertificationReport:
             "stage_timings": [t.to_dict() for t in self.stage_timings],
             "stage_counters": dict(self.stage_counters),
             "structure_cached": self.structure_cached,
+            "decomposition_stats": (
+                dict(self.decomposition_stats)
+                if self.decomposition_stats is not None
+                else None
+            ),
             "verification": (
                 self.verification.to_dict()
                 if self.verification is not None
@@ -188,6 +199,7 @@ class CertificationReport:
             ),
             stage_counters=dict(data.get("stage_counters", {})),
             structure_cached=data.get("structure_cached", False),
+            decomposition_stats=data.get("decomposition_stats"),
             verification=(
                 VerificationReport.from_dict(verification)
                 if verification is not None
@@ -209,9 +221,16 @@ class CertificationReport:
             )
         verdict = "accepted" if self.accepted else "REJECTED"
         cached = ", structure cached" if self.structure_cached else ""
+        decomposed = ""
+        if self.decomposition_stats:
+            stats = self.decomposition_stats
+            decomposed = f", {stats.get('engine')} width {stats.get('width')}"
+            heuristic = stats.get("heuristic_width")
+            if heuristic is not None and heuristic != stats.get("width"):
+                decomposed += f" (heuristic {heuristic})"
         return (
             f"{self.property_key}: {verdict}, n={self.n}, m={self.m}, "
             f"max {self.max_label_bits} encoded bits, mean "
             f"{self.mean_label_bits:.1f} bits, {self.class_count} classes, "
-            f"depth {self.hierarchy_depth}{cached}"
+            f"depth {self.hierarchy_depth}{decomposed}{cached}"
         )

@@ -94,8 +94,11 @@ class CertificationSession:
         Pathwidth bound used when certifying :class:`Graph` /
         :class:`Configuration` targets (Theorem 1 mode).  Sequence
         targets carry their own width and ignore ``k``.
-    decomposer, exact_limit:
-        Forwarded to :class:`repro.api.pipeline.DecomposeStage`.
+    decomposer, exact_limit, exact_engine, exact_budget_ms:
+        Forwarded to :class:`repro.api.pipeline.DecomposeStage` —
+        ``exact_engine`` picks ``"bnb"`` (branch-and-bound, default) or
+        ``"dp"`` (legacy subset DP), ``exact_budget_ms`` authorizes a
+        budgeted exact attempt above ``exact_limit``.
     rng:
         Source of vertex identifiers for bare-graph targets.
     engine:
@@ -126,10 +129,14 @@ class CertificationSession:
         store=None,
         artifacts: Optional[ArtifactCache] = None,
         prover=None,
+        exact_engine: Optional[str] = None,
+        exact_budget_ms: Optional[float] = None,
     ):
         self.k = k
         self.decomposer = decomposer
         self.exact_limit = exact_limit
+        self.exact_engine = exact_engine
+        self.exact_budget_ms = exact_budget_ms
         self.rng = rng or random.Random()
         self.engine = engine
         self.store = store
@@ -272,6 +279,7 @@ class CertificationSession:
                 "from JSON?)"
             )
         engine = engine or self._engine()
+        self._offer_artifacts(engine)
         verification = engine.verify(
             report.config, report.scheme, report.labeling
         )
@@ -286,6 +294,20 @@ class CertificationSession:
         if self._default_engine is None:
             self._default_engine = VerificationEngine()
         return self._default_engine
+
+    def _offer_artifacts(self, engine) -> None:
+        """Lend the session's artifact cache to cache-aware executors.
+
+        Executors that persist packed round state (``vectorized``,
+        ``shared-memory``) expose ``adopt_artifacts``; everything else
+        is left alone.  Duck-typed so custom engines/executors need no
+        base-class change.
+        """
+        adopt = getattr(
+            getattr(engine, "executor", None), "adopt_artifacts", None
+        )
+        if adopt is not None:
+            adopt(self.artifacts)
 
     # ------------------------------------------------------------------
     def _key_of(self, prop) -> str:
@@ -338,7 +360,11 @@ class CertificationSession:
                 "graph targets (sequence targets carry their own width)"
             )
         return theorem1_plan(
-            self.k, decomposer=self.decomposer, exact_limit=self.exact_limit
+            self.k,
+            decomposer=self.decomposer,
+            exact_limit=self.exact_limit,
+            exact_engine=self.exact_engine,
+            exact_budget_ms=self.exact_budget_ms,
         )
 
     def _structure_for(self, config, sequence, fingerprint) -> _Structure:
@@ -358,6 +384,8 @@ class CertificationSession:
                 self.k,
                 self.decomposer,
                 self.exact_limit,
+                self.exact_engine,
+                self.exact_budget_ms,
                 fingerprint,
             )
         plan = self._plan_for(sequence, mode_key)
@@ -396,6 +424,8 @@ class CertificationSession:
                 algebra=algebra,
                 decomposer=self.decomposer,
                 exact_limit=self.exact_limit,
+                exact_engine=self.exact_engine,
+                exact_budget_ms=self.exact_budget_ms,
             )
         return PipelineScheme(algebra, structure.ctx.max_width, stages)
 
@@ -584,7 +614,9 @@ class CertificationSession:
         root = structure.ctx.root
         scheme = self._scheme_for(structure, algebra)
         if verify:
-            verification = self._engine().verify(config, scheme, labeling)
+            engine = self._engine()
+            self._offer_artifacts(engine)
+            verification = engine.verify(config, scheme, labeling)
             result = verification.as_result()
             accepted = verification.accepted
         else:
@@ -612,6 +644,7 @@ class CertificationSession:
             stage_timings=tuple(stage_timings),
             stage_counters=dict(self.stage_counters),
             structure_cached=structure.all_cached,
+            decomposition_stats=structure.ctx.decomposition_stats,
             verification=verification,
             config=config,
             scheme=scheme,

@@ -1350,6 +1350,55 @@ def _same_key(held, key) -> bool:
     )
 
 
+def _arrays_cache_key(config) -> str:
+    """Content key of a configuration's packed :class:`RoundArrays`.
+
+    The packed columns depend only on the graph's CSR and the identifier
+    assignment — exactly what ``config_fingerprint`` hashes — so the
+    artifact survives process restarts, unlike the identity-based
+    ``_round_key`` that guards the held round.
+    """
+    from repro.api.plan import config_fingerprint
+
+    return f"round-arrays:{config_fingerprint(config)}"
+
+
+def _cached_round_arrays(cache, config):
+    """Look up a persisted pack for ``config``; return ``(arrays, key)``.
+
+    ``arrays`` is ``None`` on any miss, unpickling failure, or shape
+    mismatch — the cache is an optimization, never a correctness
+    dependency — while ``key`` is always the content key so the caller
+    can store a freshly built pack under it.
+    """
+    key = _arrays_cache_key(config)
+    if cache is None:
+        return None, key
+    entry = cache.get(key)
+    if entry is None:
+        return None, key
+    try:
+        arrays, _order = unpack_round_arrays(
+            np.asarray(entry.outputs.get("pack"), dtype=np.int64).ravel()
+        )
+    except Exception:
+        return None, key
+    if arrays.n != len(config.graph.csr.vertices):
+        return None, key
+    return arrays, key
+
+
+def _store_round_arrays(cache, key, arrays, seconds) -> None:
+    """Persist one freshly packed round under its content key."""
+    if cache is None:
+        return
+    try:
+        pack = pack_round_arrays(arrays)
+    except Exception:
+        return
+    cache.put(key, "round-arrays", {"pack": pack}, seconds)
+
+
 def _reference_outcome(factory, scheme, order, fail_fast, stats):
     outcome = _run_range(
         factory, scheme, order, 0, len(order), 0, fail_fast
@@ -1386,10 +1435,24 @@ class VectorizedExecutor(VerificationExecutor):
 
     name = "vectorized"
 
-    def __init__(self, audit: bool = False):
+    def __init__(self, audit: bool = False, artifacts=None):
         self.audit = audit or bool(os.environ.get("REPRO_VECTORIZED_AUDIT"))
+        #: Optional :class:`~repro.api.artifacts.ArtifactCache` holding
+        #: packed :class:`RoundArrays` across rounds *and processes*.
+        self.artifacts = artifacts
         self._held_key = None
         self._held_round: Optional[KernelRound] = None
+        self._held_arrays_cached = False
+
+    def adopt_artifacts(self, cache) -> None:
+        """Accept a session's artifact cache unless one was configured.
+
+        :class:`~repro.api.session.CertificationSession` offers its own
+        cache before every round, so a store-backed session makes the
+        packed columns persistent without any executor configuration.
+        """
+        if self.artifacts is None:
+            self.artifacts = cache
 
     def _round_for(self, config, scheme, mapping, location, factory):
         profile = _theorem1_profile(scheme)
@@ -1400,16 +1463,24 @@ class VectorizedExecutor(VerificationExecutor):
         key = _round_key(config, scheme, mapping, location)
         if _same_key(self._held_key, key):
             return self._held_round, None
-        try:
-            arrays = factory.round_arrays()
-        except (NotVectorizable, RuntimeError) as exc:
-            return None, str(exc)
+        began = perf_counter()
+        arrays, cache_key = _cached_round_arrays(self.artifacts, config)
+        arrays_cached = arrays is not None
+        if arrays is None:
+            try:
+                arrays = factory.round_arrays()
+            except (NotVectorizable, RuntimeError) as exc:
+                return None, str(exc)
+            _store_round_arrays(
+                self.artifacts, cache_key, arrays, perf_counter() - began
+            )
         algebra, max_width = profile
         round_ = KernelRound(
             arrays, factory.edge_certificates, algebra, max_width
         )
         self._held_key = key
         self._held_round = round_
+        self._held_arrays_cached = arrays_cached
         return round_, None
 
     def execute(self, config, scheme, mapping, location, vertices, fail_fast):
@@ -1438,6 +1509,7 @@ class VectorizedExecutor(VerificationExecutor):
             )
         base_stats.update(stats)
         base_stats["mode"] = "kernel"
+        base_stats["arrays_cached"] = self._held_arrays_cached
         names = factory.vertices
         verdicts = {}
         flagged = []
@@ -1579,6 +1651,7 @@ class SharedMemoryExecutor(VerificationExecutor):
         self,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        artifacts=None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be positive")
@@ -1586,12 +1659,20 @@ class SharedMemoryExecutor(VerificationExecutor):
             raise ValueError("chunk_size must be positive")
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        #: Optional :class:`~repro.api.artifacts.ArtifactCache` holding
+        #: packed :class:`RoundArrays` across rounds *and processes*.
+        self.artifacts = artifacts
         #: Segment publications (= pool creations) over this executor.
         self.payload_ships = 0
         self._pool = None
         self._segments = []
         self._held_key = None
         self._held_order = None
+
+    def adopt_artifacts(self, cache) -> None:
+        """Accept a session's artifact cache unless one was configured."""
+        if self.artifacts is None:
+            self.artifacts = cache
 
     def segment_names(self) -> list:
         """Names of the currently-published shm segments (tests)."""
@@ -1675,12 +1756,19 @@ class SharedMemoryExecutor(VerificationExecutor):
             return _reference_outcome(
                 factory, scheme, order, fail_fast, base_stats
             )
-        try:
-            arrays = factory.round_arrays()
-        except (NotVectorizable, RuntimeError) as exc:
-            base_stats.update({"mode": "reference", "reason": str(exc)})
-            return _reference_outcome(
-                factory, scheme, order, fail_fast, base_stats
+        began_pack = perf_counter()
+        arrays, cache_key = _cached_round_arrays(self.artifacts, config)
+        base_stats["arrays_cached"] = arrays is not None
+        if arrays is None:
+            try:
+                arrays = factory.round_arrays()
+            except (NotVectorizable, RuntimeError) as exc:
+                base_stats.update({"mode": "reference", "reason": str(exc)})
+                return _reference_outcome(
+                    factory, scheme, order, fail_fast, base_stats
+                )
+            _store_round_arrays(
+                self.artifacts, cache_key, arrays, perf_counter() - began_pack
             )
         workers = self.max_workers or os.cpu_count() or 1
         key = _round_key(config, scheme, mapping, location)

@@ -109,9 +109,11 @@ class Theorem1Scheme(CertifyingScheme):
     """Certify ``φ ∧ (pathwidth ≤ k)`` with O(log n)-bit edge labels.
 
     ``exact_limit`` bounds the instance size up to which the default
-    decomposer uses the exponential exact pathwidth DP before falling
-    back to the heuristic portfolio (default:
-    ``repro.api.pipeline.DEFAULT_EXACT_DECOMPOSITION_LIMIT``).
+    decomposer runs a complete exact search (default:
+    ``repro.api.pipeline.DEFAULT_EXACT_DECOMPOSITION_LIMIT``);
+    ``exact_engine`` picks the engine (``"bnb"`` branch-and-bound by
+    default, ``"dp"`` the legacy subset DP) and ``exact_budget_ms``
+    authorizes a budgeted branch-and-bound attempt above the limit.
     """
 
     def __init__(
@@ -120,6 +122,8 @@ class Theorem1Scheme(CertifyingScheme):
         k: int,
         decomposer: Optional[Callable] = None,
         exact_limit: Optional[int] = None,
+        exact_engine: Optional[str] = None,
+        exact_budget_ms: Optional[float] = None,
     ):
         if k < 1:
             raise ValueError("pathwidth bound must be at least 1")
@@ -127,6 +131,8 @@ class Theorem1Scheme(CertifyingScheme):
         self.k = k
         self.decomposer = decomposer
         self.exact_limit = exact_limit
+        self.exact_engine = exact_engine
+        self.exact_budget_ms = exact_budget_ms
 
     def prove(self, config: Configuration) -> Labeling:
         from repro.api.pipeline import (
@@ -141,6 +147,8 @@ class Theorem1Scheme(CertifyingScheme):
             algebra=self.algebra,
             decomposer=self.decomposer,
             exact_limit=self.exact_limit,
+            exact_engine=self.exact_engine,
+            exact_budget_ms=self.exact_budget_ms,
         )
         CertificationPipeline(stages).run(ctx)
         return ctx.labeling

@@ -186,6 +186,8 @@ class IncrementalCertifier:
         store=None,
         decomposer=None,
         exact_limit: Optional[int] = None,
+        exact_engine: Optional[str] = None,
+        exact_budget_ms: Optional[float] = None,
         rng: Optional[random.Random] = None,
         max_dirty_fraction: float = DEFAULT_MAX_DIRTY_FRACTION,
         full_round_every: int = 0,
@@ -205,6 +207,8 @@ class IncrementalCertifier:
                 k=k,
                 decomposer=decomposer,
                 exact_limit=exact_limit,
+                exact_engine=exact_engine,
+                exact_budget_ms=exact_budget_ms,
                 rng=rng,
                 store=store,
             )

@@ -3,14 +3,21 @@
 Definition 1.1 of the paper defines path decompositions; the observation
 after it recasts them as *interval representations* (Definition 4.1), the
 form the lane-partition machinery of Section 4 consumes.  This package
-provides both forms, conversions between them, exact pathwidth via the
-vertex-separation DP, heuristics for larger graphs, and the tree
+provides both forms, conversions between them, exact pathwidth (a
+branch-and-bound vertex-separation engine by default, the subset DP as
+reference ground truth), heuristics for larger graphs, and the tree
 decomposition + balancing substrate the FMRT'24 baseline requires.
 """
 
 from repro.pathwidth.interval import IntervalRepresentation
 from repro.pathwidth.path_decomposition import PathDecomposition
 from repro.pathwidth.exact import exact_pathwidth, optimal_vertex_ordering
+from repro.pathwidth.branch_and_bound import (
+    BnBResult,
+    BnBStats,
+    branch_and_bound_decomposition,
+    branch_and_bound_ordering,
+)
 from repro.pathwidth.heuristics import heuristic_path_decomposition
 from repro.pathwidth.tree_decomposition import TreeDecomposition
 from repro.pathwidth.balanced import balanced_binary_decomposition
@@ -20,6 +27,10 @@ __all__ = [
     "PathDecomposition",
     "exact_pathwidth",
     "optimal_vertex_ordering",
+    "BnBResult",
+    "BnBStats",
+    "branch_and_bound_decomposition",
+    "branch_and_bound_ordering",
     "heuristic_path_decomposition",
     "TreeDecomposition",
     "balanced_binary_decomposition",

@@ -1,15 +1,24 @@
-"""Exact pathwidth via the vertex-separation dynamic program.
+"""Exact pathwidth: branch-and-bound default, subset-DP reference.
 
 Pathwidth equals the *vertex separation number* (Kinnersley 1992): the
 minimum over linear orderings ``v_1, ..., v_n`` of the maximum, over
 prefixes, of the number of prefix vertices with a neighbor outside the
-prefix.  The Held–Karp-style DP below computes
+prefix.  Two exact engines share the bitset substrate in
+:mod:`repro.pathwidth.bitsets`:
 
-    f(S) = min over orderings of S placed first of the max boundary size,
-
-with ``f(S) = min_{v in S} max(f(S - v), boundary(S))`` where
-``boundary(S) = |{u in S : N(u) ⊄ S}|``.  O(2^n * n) time and O(2^n)
-memory — exact ground truth for the test suite (n <= ~18).
+* ``engine="bnb"`` (default) — the Coudert–Mazauric–Nisse
+  branch-and-bound in :mod:`repro.pathwidth.branch_and_bound`.  No size
+  cap; bounded-pathwidth inputs at n ≈ 50–100 typically prove optimal in
+  well under a second.  An optional ``budget_ms`` deadline turns it into
+  a strict attempt: on timeout a ``ValueError`` is raised (callers who
+  want the anytime incumbent instead should use
+  :func:`~repro.pathwidth.branch_and_bound.branch_and_bound_ordering`
+  directly, as ``DecomposeStage`` does).
+* ``engine="dp"`` — the Held–Karp-style subset DP below:
+  ``f(S) = min_{v in S} max(f(S - v), boundary(S))``, O(2^n * n) time
+  and O(2^n) memory, capped at ``_EXACT_LIMIT`` vertices.  Kept as the
+  independent ground truth the equivalence suite checks the
+  branch-and-bound against.
 """
 
 from __future__ import annotations
@@ -17,64 +26,75 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.graphs import Graph
+from repro.pathwidth.bitsets import boundary_size, neighbor_masks, vertex_separation_of_order
 from repro.pathwidth.interval import IntervalRepresentation
 from repro.pathwidth.path_decomposition import PathDecomposition
 
 _EXACT_LIMIT = 24
 
-
-def _boundary_size(graph: Graph, subset_mask: int, vertices: list, nbr_masks: list) -> int:
-    """Return |{u in S : u has a neighbor outside S}| for the mask."""
-    count = 0
-    mask = subset_mask
-    while mask:
-        low = mask & -mask
-        index = low.bit_length() - 1
-        if nbr_masks[index] & ~subset_mask:
-            count += 1
-        mask ^= low
-    return count
+#: Engine names accepted by every function in this module.
+ENGINES = ("bnb", "dp")
+DEFAULT_ENGINE = "bnb"
 
 
-def exact_pathwidth(graph: Graph) -> int:
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown exact engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def exact_pathwidth(
+    graph: Graph, engine: str = DEFAULT_ENGINE, budget_ms: Optional[float] = None
+) -> int:
     """Return the exact pathwidth of ``graph``.
 
-    Raises ``ValueError`` for graphs above the hard-coded size limit — use
-    :func:`repro.pathwidth.heuristic_path_decomposition` or a generator
-    with a built-in witness decomposition instead.
+    Raises ``ValueError`` when the chosen engine cannot certify
+    optimality: the ``"dp"`` engine above its hard size limit, or the
+    ``"bnb"`` engine when a ``budget_ms`` deadline expires first.
     """
-    ordering = optimal_vertex_ordering(graph)
     if graph.n == 0:
         return -1
+    ordering = optimal_vertex_ordering(graph, engine=engine, budget_ms=budget_ms)
     return _vertex_separation_of(graph, ordering)
 
 
-def optimal_vertex_ordering(graph: Graph) -> list:
+def optimal_vertex_ordering(
+    graph: Graph, engine: str = DEFAULT_ENGINE, budget_ms: Optional[float] = None
+) -> list:
     """Return a vertex ordering achieving the minimum vertex separation."""
+    _check_engine(engine)
+    if graph.n == 0:
+        return []
+    if engine == "bnb":
+        from repro.pathwidth.branch_and_bound import branch_and_bound_ordering
+
+        result = branch_and_bound_ordering(graph, budget_ms=budget_ms)
+        if not result.optimal:
+            raise ValueError(
+                "branch-and-bound budget of %r ms expired before optimality "
+                "was proven (incumbent width %d)" % (budget_ms, result.width)
+            )
+        return result.ordering
+    return _dp_vertex_ordering(graph)
+
+
+def _dp_vertex_ordering(graph: Graph) -> list:
+    """The O(2^n * n) subset-DP reference engine."""
     n = graph.n
     if n > _EXACT_LIMIT:
         raise ValueError(
             f"exact pathwidth limited to {_EXACT_LIMIT} vertices (got {n})"
         )
-    if n == 0:
-        return []
-    vertices = graph.vertices()
-    index_of = {v: i for i, v in enumerate(vertices)}
-    nbr_masks = [0] * n
-    for v in vertices:
-        for u in graph.neighbors_sorted(v):
-            nbr_masks[index_of[v]] |= 1 << index_of[u]
+    vertices, nbr_masks = neighbor_masks(graph)
 
     full = (1 << n) - 1
     # f[S] = best achievable max-boundary when S is the prefix set.
     f = [0] * (1 << n)
     choice = [0] * (1 << n)
-    boundary_cache = [0] * (1 << n)
     for subset in range(1, full + 1):
-        boundary_cache[subset] = _boundary_size(graph, subset, vertices, nbr_masks)
         best = None
         best_v = -1
-        b = boundary_cache[subset]
+        b = boundary_size(subset, nbr_masks)
         mask = subset
         while mask:
             low = mask & -mask
@@ -99,25 +119,16 @@ def optimal_vertex_ordering(graph: Graph) -> list:
 
 
 def _vertex_separation_of(graph: Graph, ordering: list) -> int:
-    """Return the vertex separation of a specific ordering.
-
-    O(n * m) direct evaluation: at each prefix, count prefix vertices with
-    a neighbor strictly after the prefix.
-    """
-    position = {v: i for i, v in enumerate(ordering)}
-    worst = 0
-    for i in range(len(ordering)):
-        boundary = sum(
-            1
-            for v in ordering[: i + 1]
-            if any(position[u] > i for u in graph.neighbors_sorted(v))
-        )
-        worst = max(worst, boundary)
-    return worst
+    """Return the vertex separation of a specific ordering (bitset sweep)."""
+    vertices, nbr_masks = neighbor_masks(graph)
+    index_of = {v: i for i, v in enumerate(vertices)}
+    return vertex_separation_of_order([index_of[v] for v in ordering], nbr_masks)
 
 
-def exact_path_decomposition(graph: Graph) -> PathDecomposition:
-    """Return an optimal-width path decomposition (exact, small graphs).
+def exact_path_decomposition(
+    graph: Graph, engine: str = DEFAULT_ENGINE, budget_ms: Optional[float] = None
+) -> PathDecomposition:
+    """Return an optimal-width path decomposition.
 
     The optimal ordering is converted into an interval representation via
     :meth:`IntervalRepresentation.from_ordering` and then into bags; the
@@ -125,24 +136,34 @@ def exact_path_decomposition(graph: Graph) -> PathDecomposition:
     """
     if graph.n == 0:
         return PathDecomposition(graph, [], validate=False)
-    ordering = optimal_vertex_ordering(graph)
+    ordering = optimal_vertex_ordering(graph, engine=engine, budget_ms=budget_ms)
     rep = IntervalRepresentation.from_ordering(graph, ordering)
     return PathDecomposition.from_interval_representation(rep)
 
 
-def pathwidth_at_most(graph: Graph, k: int) -> bool:
-    """Return whether ``pw(graph) <= k`` (exact; small graphs only)."""
+def pathwidth_at_most(
+    graph: Graph, k: int, engine: str = DEFAULT_ENGINE,
+    budget_ms: Optional[float] = None,
+) -> bool:
+    """Return whether ``pw(graph) <= k`` (exact)."""
     if graph.n == 0:
         return True
-    return exact_pathwidth(graph) <= k
+    return exact_pathwidth(graph, engine=engine, budget_ms=budget_ms) <= k
 
 
-def exact_pathwidth_of_components(graph: Graph) -> int:
-    """Return pathwidth of a possibly disconnected graph (max over parts)."""
+def exact_pathwidth_of_components(
+    graph: Graph, engine: str = DEFAULT_ENGINE, budget_ms: Optional[float] = None
+) -> int:
+    """Return pathwidth of a possibly disconnected graph (max over parts).
+
+    The ``"bnb"`` engine splits components internally; this wrapper keeps
+    the per-component contract for the ``"dp"`` engine (and callers that
+    iterate components themselves).
+    """
     if graph.n == 0:
         return -1
     best = 0
     for component in graph.connected_components():
         sub = graph.induced_subgraph(component)
-        best = max(best, exact_pathwidth(sub))
+        best = max(best, exact_pathwidth(sub, engine=engine, budget_ms=budget_ms))
     return best

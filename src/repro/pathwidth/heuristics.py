@@ -22,18 +22,9 @@ import random
 from typing import Optional
 
 from repro.graphs import Graph
+from repro.pathwidth.bitsets import boundary_size, neighbor_masks
 from repro.pathwidth.interval import IntervalRepresentation
 from repro.pathwidth.path_decomposition import PathDecomposition
-
-
-def _boundary_after(graph: Graph, placed: set, candidate) -> int:
-    """Return the boundary size after appending ``candidate`` to ``placed``."""
-    new_placed = placed | {candidate}
-    return sum(
-        1
-        for v in new_placed
-        if any(u not in new_placed for u in graph.neighbors_sorted(v))
-    )
 
 
 def bfs_ordering(graph: Graph, source=None) -> list:
@@ -58,23 +49,35 @@ def greedy_boundary_ordering(
     if graph.n == 0:
         return []
     rng = rng or random.Random(0)
-    vertices = graph.vertices()
-    # Each beam entry: (worst boundary so far, ordering tuple, placed set).
+    vertices, masks = neighbor_masks(graph)
+    index_of = {v: i for i, v in enumerate(vertices)}
+    full = (1 << graph.n) - 1
+    # Each beam entry: (worst boundary so far, ordering tuple, placed mask).
     start = min(vertices, key=graph.degree)
-    beams = [(0, (start,), frozenset([start]))]
+    beams = [(0, (start,), 1 << index_of[start])]
     for _ in range(graph.n - 1):
         candidates = []
         for worst, ordering, placed in beams:
-            frontier = set()
-            for v in placed:
-                frontier.update(graph.neighbors_sorted(v))
-            frontier -= placed
+            frontier = 0
+            scan = placed
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                frontier |= masks[low.bit_length() - 1]
+            frontier &= ~placed
             if not frontier:  # disconnected remainder: pick globally
-                frontier = set(vertices) - placed
-            for v in sorted(frontier):
-                boundary = _boundary_after(graph, set(placed), v)
+                frontier = full & ~placed
+            scan = frontier
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                boundary = boundary_size(placed | low, masks)
                 candidates.append(
-                    (max(worst, boundary), ordering + (v,), placed | {v})
+                    (
+                        max(worst, boundary),
+                        ordering + (vertices[low.bit_length() - 1],),
+                        placed | low,
+                    )
                 )
         candidates.sort(key=lambda item: (item[0], item[1]))
         seen_sets = set()

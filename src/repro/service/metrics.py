@@ -105,6 +105,12 @@ class ServiceMetrics:
       ``artifacts_reused`` from the plan DAG instead of re-run, and
       ``full_fallbacks`` — updates whose repair gave up and re-ran the
       full decomposition search;
+    * decomposition counters (PR 9): per-engine run counts
+      (``bnb``/``dp``/``heuristic``/``witness``), branch-and-bound
+      ``nodes expanded`` / ``memo hits`` totals, ``timeouts`` (budget
+      expiries that fell back to the incumbent), and
+      ``width_improvements`` — runs whose exact width beat the
+      heuristic portfolio's;
     * per-op latency histograms.
     """
 
@@ -127,6 +133,11 @@ class ServiceMetrics:
         self.kernel_accepted = 0
         self.kernel_fallback = 0
         self.kernel_compiled = 0
+        self.decomposition_engines: dict = {}  # engine name -> runs
+        self.decomposition_nodes = 0
+        self.decomposition_memo_hits = 0
+        self.decomposition_timeouts = 0
+        self.decomposition_width_improvements = 0
         self._latency: dict = {}  # op -> LatencyHistogram
 
     # ------------------------------------------------------------------
@@ -180,6 +191,24 @@ class ServiceMetrics:
             self.kernel_fallback += int(stats.get("fallback_vertices", 0))
             self.kernel_compiled += int(stats.get("compiled_vertices", 0))
 
+    def decomposition_run(self, stats) -> None:
+        """Record one report's ``decomposition_stats`` (if any)."""
+        if not stats:
+            return
+        engine = str(stats.get("engine", "unknown"))
+        with self._lock:
+            self.decomposition_engines[engine] = (
+                self.decomposition_engines.get(engine, 0) + 1
+            )
+            self.decomposition_nodes += int(stats.get("nodes_expanded", 0))
+            self.decomposition_memo_hits += int(stats.get("memo_hits", 0))
+            if stats.get("timed_out"):
+                self.decomposition_timeouts += 1
+            width = stats.get("width")
+            heuristic = stats.get("heuristic_width")
+            if width is not None and heuristic is not None and width < heuristic:
+                self.decomposition_width_improvements += 1
+
     def incremental_update(
         self,
         bags_dirtied: int = 0,
@@ -219,6 +248,15 @@ class ServiceMetrics:
                     "bags_dirtied": self.bags_dirtied,
                     "artifacts_reused": self.artifacts_reused,
                     "full_fallbacks": self.full_fallbacks,
+                },
+                "decomposition": {
+                    "engines": dict(self.decomposition_engines),
+                    "nodes_expanded": self.decomposition_nodes,
+                    "memo_hits": self.decomposition_memo_hits,
+                    "timeouts": self.decomposition_timeouts,
+                    "width_improvements": (
+                        self.decomposition_width_improvements
+                    ),
                 },
                 "latency": {
                     op: histogram.snapshot()

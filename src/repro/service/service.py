@@ -342,12 +342,20 @@ class CertificationService:
         if missing:
             self.metrics.prover_run()
             session = self._session_for(k)
+            fresh_structure = True
             for prop, report in session.certify(
                 graph, list(missing), verify=verify
             ).items():
                 reports[prop] = report
                 served[prop] = "prover"
                 self.metrics.store_served(False)
+                if fresh_structure:
+                    # One decomposition serves the whole property batch;
+                    # count it once per prover run.
+                    self.metrics.decomposition_run(
+                        getattr(report, "decomposition_stats", None)
+                    )
+                    fresh_structure = False
         return {
             "fingerprint": fingerprint,
             "served": served,

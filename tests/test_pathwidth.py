@@ -169,9 +169,17 @@ class TestExactPathwidth:
         g = path_graph(4).disjoint_union(cycle_graph(5).relabeled({i: i + 10 for i in range(5)}))
         assert exact_pathwidth_of_components(g) == 2
 
-    def test_size_limit(self):
+    def test_dp_size_limit(self):
         with pytest.raises(ValueError):
-            exact_pathwidth(path_graph(30))
+            exact_pathwidth(path_graph(30), engine="dp")
+
+    def test_default_engine_passes_old_dp_limit(self):
+        # The branch-and-bound default has no size cap.
+        assert exact_pathwidth(path_graph(30)) == 1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            exact_pathwidth(path_graph(4), engine="milp")
 
     def test_trees_have_low_pathwidth(self):
         rng = random.Random(9)

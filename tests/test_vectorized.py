@@ -31,6 +31,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import (
+    ArtifactCache,
     AuditCase,
     AuditPlan,
     CertificationSession,
@@ -453,3 +454,81 @@ class TestServiceEngine:
             assert snap["kernels"]["kernel_accepted"] == 32
         finally:
             service.close_blocking()
+
+
+@needs_numpy
+class TestRoundArraysPersistence:
+    """PR 9 satellite: packed RoundArrays survive process restarts."""
+
+    def test_fresh_executor_reuses_persisted_pack(self, tmp_path):
+        config, scheme, labeling = _case(3)
+        first = VerificationEngine(
+            VectorizedExecutor(artifacts=ArtifactCache(root=tmp_path))
+        ).verify(config, scheme, labeling)
+        assert first.kernel_stats["mode"] == "kernel"
+        assert first.kernel_stats["arrays_cached"] is False
+        # A fresh executor + fresh cache object over the same directory
+        # models a restarted process: the pack comes back from disk.
+        restarted = VectorizedExecutor(
+            artifacts=ArtifactCache(root=tmp_path)
+        )
+        second = VerificationEngine(restarted).verify(
+            config, scheme, labeling
+        )
+        assert second.kernel_stats["arrays_cached"] is True
+        assert second.verdicts == first.verdicts
+        assert second.accepted == first.accepted
+
+    def test_corrupt_pack_is_rebuilt_not_fatal(self, tmp_path):
+        from repro.api.vectorized import _arrays_cache_key
+
+        config, scheme, labeling = _case(4)
+        cache = ArtifactCache(root=tmp_path)
+        cache.put(
+            _arrays_cache_key(config),
+            "round-arrays",
+            {"pack": [1, 2, 3]},
+            0.0,
+        )
+        report = VerificationEngine(
+            VectorizedExecutor(artifacts=cache)
+        ).verify(config, scheme, labeling)
+        assert report.kernel_stats["mode"] == "kernel"
+        assert report.kernel_stats["arrays_cached"] is False
+
+    def test_session_lends_cache_to_vectorized_executor(self):
+        sequence, _graph = lanewidth_workload(3, 16, 9)
+        engine = VerificationEngine(VectorizedExecutor())
+        session = CertificationSession(
+            rng=seed_stream(8, "ids").rng(9), engine=engine
+        )
+        report = session.certify(sequence, "connected")
+        assert report.accepted
+        assert engine.executor.artifacts is session.artifacts
+
+    def test_explicit_cache_not_replaced_by_session(self):
+        sequence, _graph = lanewidth_workload(3, 16, 10)
+        own = ArtifactCache()
+        engine = VerificationEngine(VectorizedExecutor(artifacts=own))
+        session = CertificationSession(
+            rng=seed_stream(8, "ids").rng(10), engine=engine
+        )
+        session.certify(sequence, "connected")
+        assert engine.executor.artifacts is own
+
+    def test_shared_memory_executor_adopts_cache(self, tmp_path):
+        config, scheme, labeling = _case(5)
+        cache = ArtifactCache(root=tmp_path)
+        with SharedMemoryExecutor(max_workers=2, artifacts=cache) as first:
+            report = VerificationEngine(first).verify(
+                config, scheme, labeling
+            )
+        assert report.kernel_stats.get("arrays_cached") is False
+        with SharedMemoryExecutor(
+            max_workers=2, artifacts=ArtifactCache(root=tmp_path)
+        ) as restarted:
+            second = VerificationEngine(restarted).verify(
+                config, scheme, labeling
+            )
+        assert second.kernel_stats.get("arrays_cached") is True
+        assert second.verdicts == report.verdicts
