@@ -96,6 +96,7 @@ def test_e8_runtime(benchmark):
             "serial_s",
             "parallel_s",
             "vec_cold_s",
+            "compile_s",
             "vec_steady_s",
             "shm_cold_s",
             "shm_steady_s",
@@ -165,6 +166,19 @@ def test_e8_runtime(benchmark):
                 assert (
                     restart_report.kernel_stats.get("arrays_cached") is True
                 ), "restarted executor re-packed despite the artifact cache"
+                # PR 10: the restarted process also attaches the
+                # persisted *compiled round* — zero recompilation.
+                assert (
+                    persist_report.kernel_stats.get("compiled_round_cached")
+                    is False
+                ), "first cold round unexpectedly found a compiled round"
+                assert (
+                    restart_report.kernel_stats.get("compiled_round_cached")
+                    is True
+                ), "restarted executor recompiled despite the envelope"
+                assert (
+                    restart_report.kernel_stats.get("compile_seconds") == 0
+                ), "attached round reported nonzero compile time"
             # Stored path: decode from disk + run the round, no prover.
             fingerprint = config.graph.fingerprint()
             t3 = time.perf_counter()
@@ -188,9 +202,13 @@ def test_e8_runtime(benchmark):
             assert stored.accepted
             assert stored.labeling.mapping == labeling.mapping
             shm.executor.close()
+            vec_compile_s = float(
+                (vec_report.kernel_stats or {}).get("compile_seconds", 0.0)
+            )
             point = {
                 "n": n,
                 "prove_s": round(t1 - t0, 6),
+                "vec_compile_s": round(vec_compile_s, 6),
                 "serial_s": round(serial_s, 6),
                 "parallel_s": round(parallel_s, 6),
                 "reverify_s": round(reverify_s, 6),
@@ -230,6 +248,7 @@ def test_e8_runtime(benchmark):
                 f"{serial_s:.3f}",
                 f"{parallel_s:.3f}",
                 f"{vec_cold_s:.3f}",
+                f"{vec_compile_s:.4f}",
                 f"{vec_steady_s:.4f}",
                 f"{shm_cold_s:.3f}",
                 f"{shm_steady_s:.4f}",

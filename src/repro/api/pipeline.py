@@ -464,7 +464,13 @@ class EvaluateStage(Stage):
 
 
 class LabelStage(Stage):
-    """Lemmas 6.4/6.5: build the physical edge certificates."""
+    """Lemmas 6.4/6.5: build the physical edge certificates.
+
+    Label assembly is batch-wise: the builder materializes each
+    embedding path's records in one sweep and assembles the full
+    ``edge -> Theorem1Label`` mapping in a single pass, so the cold
+    path pays per-batch rather than per-edge overheads (PR 10).
+    """
 
     name = "label"
     inputs = ("root", "evaluation", "embedding", "config")

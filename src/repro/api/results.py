@@ -103,6 +103,15 @@ class CertificationReport:
     #: optimality/timeout flags.
     decomposition_stats: Optional[dict] = None
 
+    # Cold-path observability: wall-clock spent wire-encoding the
+    # labeling (0.0 when the encoded form came from the artifact cache),
+    # kernel compile time of the verification round, and whether that
+    # round attached to a persisted compiled-round envelope instead of
+    # compiling.
+    encode_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    compiled_round_cached: bool = False
+
     #: Structured record of the verification round (``None`` when the
     #: prover refused or the round was skipped via ``verify=False``).
     verification: Optional[VerificationReport] = field(default=None, repr=False)
@@ -164,6 +173,9 @@ class CertificationReport:
                 if self.decomposition_stats is not None
                 else None
             ),
+            "encode_seconds": self.encode_seconds,
+            "compile_seconds": self.compile_seconds,
+            "compiled_round_cached": self.compiled_round_cached,
             "verification": (
                 self.verification.to_dict()
                 if self.verification is not None
@@ -200,6 +212,9 @@ class CertificationReport:
             stage_counters=dict(data.get("stage_counters", {})),
             structure_cached=data.get("structure_cached", False),
             decomposition_stats=data.get("decomposition_stats"),
+            encode_seconds=data.get("encode_seconds", 0.0),
+            compile_seconds=data.get("compile_seconds", 0.0),
+            compiled_round_cached=data.get("compiled_round_cached", False),
             verification=(
                 VerificationReport.from_dict(verification)
                 if verification is not None

@@ -670,6 +670,12 @@ class VerificationEngine:
         # Deterministic order: executors must agree on which vertex a
         # fail_fast round reaches first, up to chunk granularity.
         vertices = sorted(config.graph.vertices(), key=repr)
+        # Executors that persist compiled rounds key them on the
+        # labeling's wire digest; offer it before the round (duck-typed,
+        # mirroring the session's artifact-cache handoff).
+        offer = getattr(self.executor, "offer_labeling", None)
+        if callable(offer):
+            offer(labeling)
         start = perf_counter()
         outcomes = self.executor.execute(
             config,

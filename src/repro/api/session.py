@@ -34,9 +34,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
-from repro.codec import encode_labeling
+from repro.codec import encode_labeling_columnar, stamp_wire_digest
 from repro.core.lanewidth import ConstructionSequence, apply_construction
 from repro.courcelle.algebra import BoundedAlgebra
 from repro.courcelle.registry import resolve_algebra
@@ -505,13 +506,16 @@ class CertificationSession:
         # it rides along with the labeling artifact so warm-cache runs
         # skip re-encoding too.
         encoded = None
+        encode_seconds = 0.0
         label_key = prop_keys["label"].key
         if "label" in run.cache_hits:
             entry = self.artifacts.get(label_key)
             if entry is not None:
                 encoded = entry.outputs.get("encoded")
         if encoded is None:
-            encoded = encode_labeling(ctx.labeling)
+            began = perf_counter()
+            encoded = encode_labeling_columnar(ctx.labeling)
+            encode_seconds = perf_counter() - began
             self.artifacts.annotate(label_key, "encoded", encoded)
         return self._finish_report(
             structure,
@@ -524,6 +528,7 @@ class CertificationSession:
             self._structure_timings(structure) + tuple(run.timings),
             verify,
             ctx=ctx,
+            encode_seconds=encode_seconds,
         )
 
     def _certify_parallel(self, structure, config, pending, verify) -> dict:
@@ -582,7 +587,9 @@ class CertificationSession:
                 outcome.label_seconds,
                 persist=label_key.persistable,
             )
-            encoded = encode_labeling(labeling)
+            began = perf_counter()
+            encoded = encode_labeling_columnar(labeling)
+            encode_seconds = perf_counter() - began
             self.artifacts.annotate(label_key.key, "encoded", encoded)
             reports[key] = self._finish_report(
                 structure,
@@ -595,6 +602,7 @@ class CertificationSession:
                 self._structure_timings(structure)
                 + (evaluate_timing, label_timing),
                 verify,
+                encode_seconds=encode_seconds,
             )
         return reports
 
@@ -610,9 +618,14 @@ class CertificationSession:
         stage_timings,
         verify,
         ctx=None,
+        encode_seconds: float = 0.0,
     ) -> CertificationReport:
         root = structure.ctx.root
         scheme = self._scheme_for(structure, algebra)
+        # Tie the wire identity to the labeling object *before* the
+        # verification round: executors that persist compiled rounds
+        # key their envelopes on this digest.
+        stamp_wire_digest(labeling, encoded)
         if verify:
             engine = self._engine()
             self._offer_artifacts(engine)
@@ -645,6 +658,19 @@ class CertificationSession:
             stage_counters=dict(self.stage_counters),
             structure_cached=structure.all_cached,
             decomposition_stats=structure.ctx.decomposition_stats,
+            encode_seconds=encode_seconds,
+            compile_seconds=(
+                (verification.kernel_stats or {}).get("compile_seconds", 0.0)
+                if verification is not None
+                else 0.0
+            ),
+            compiled_round_cached=bool(
+                (verification.kernel_stats or {}).get(
+                    "compiled_round_cached", False
+                )
+                if verification is not None
+                else False
+            ),
             verification=verification,
             config=config,
             scheme=scheme,

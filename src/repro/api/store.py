@@ -67,7 +67,8 @@ from repro.codec import (
     EncodedLabel,
     EncodedLabeling,
     decode_labeling_columnar,
-    encode_labeling,
+    encode_labeling_columnar,
+    stamp_wire_digest,
 )
 from repro.courcelle.registry import resolve_algebra
 from repro.pls.model import Configuration
@@ -466,7 +467,7 @@ class CertificateStore:
             )
         encoded = getattr(report, "encoded", None)
         if encoded is None:
-            encoded = encode_labeling(report.labeling)
+            encoded = encode_labeling_columnar(report.labeling)
         config = report.config
         fingerprint = config.graph.fingerprint()
         scheme = report.scheme
@@ -653,6 +654,9 @@ class CertificateStore:
                 raise StoreError(
                     f"corrupted certificate payload in {path}: {exc}"
                 ) from exc
+            # Re-stamp the wire identity so a reverify round can attach
+            # a persisted compiled round with zero compile work.
+            stamp_wire_digest(labeling, encoded)
         algebra = manifest["algebra"]
         if algebra is None and manifest["algebra_key"] is not None:
             algebra = resolve_algebra(manifest["algebra_key"])

@@ -41,6 +41,7 @@ no-leak lifecycle tests attach by name to prove it.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -75,6 +76,7 @@ from repro.core.verifier import (
     recompute_leaf_state,
     recompute_parent_fold,
 )
+from repro.codec.wire import WIRE_VERSION
 from repro.courcelle.boundary import REAL, VIRTUAL
 from repro.pls.arrays import (
     NONE_ID,
@@ -103,6 +105,43 @@ _LIM = 1 << 60
 _MISS = NONE_ID
 
 _SEG_SHIFT = 1 << 31
+
+#: Version of the persisted compiled-round envelope
+#: (:meth:`KernelRound.export_state`).  Bumped whenever the kernel table
+#: layout or semantics change: a mismatched envelope is a cache *miss*
+#: (the round recompiles), never an error.
+COMPILED_ROUND_VERSION = 1
+
+#: ``_Tables`` columns by dtype — the envelope stores exactly these, and
+#: :meth:`KernelRound.from_state` re-coerces and bounds-checks each one.
+_STATE_BOOL_COLS = (
+    "r_root", "r_fold", "r_rmc", "r_ptok", "r_bok", "r_eok",
+    "r_ptagok", "r_pok", "st_flag",
+)
+_STATE_I64_COLS = (
+    "r_type", "r_info", "r_rmid", "r_minfo", "r_msub", "r_cs",
+    "r_ptgt", "r_pida", "r_pda", "r_pidb", "r_pdb",
+    "r_bleft", "r_bright", "r_bbr", "r_btag", "r_side",
+    "r_ep1", "r_ep2", "r_etag", "r_ein", "r_eout",
+    "r_pvids", "r_ptags", "r_ppos", "r_ptagc", "r_plen",
+    "ch_counts", "ch_indptr", "ch_cid",
+    "ch_ids_counts", "ch_ids_indptr", "ch_ids_flat",
+    "min_counts", "min_indptr", "min_lane", "min_id",
+    "tin", "pid_keys", "pid_t",
+    "st_len", "st_indptr", "st_rec", "st_path", "st_next",
+    "me_code",
+)
+
+#: Columns with one entry per interned record.
+_STATE_RECORD_COLS = tuple(
+    c for c in _STATE_I64_COLS + _STATE_BOOL_COLS if c.startswith("r_")
+) + ("ch_counts", "min_counts")
+
+
+def _dtype_signature():
+    """Numpy dtype signature baked into every envelope: a restore on a
+    platform whose int64/bool wire forms differ must miss, not load."""
+    return (np.dtype(np.int64).str, np.dtype(bool).str)
 
 
 class Unvectorizable(Exception):
@@ -303,6 +342,12 @@ class KernelRound:
         self._t: Optional[_Tables] = None
         self._dirty = True
         self.compile_seconds = 0.0
+        # Attached (persisted-envelope) rounds skip the compile path:
+        # the tables, edge stacks, and virtual-port results below were
+        # restored by :meth:`from_state` instead of being compiled.
+        self._attached = False
+        self._vp_map: dict = {}
+        self._vp_bad: set = set()
 
     # -- value/paths interning ------------------------------------------
 
@@ -944,34 +989,231 @@ class KernelRound:
         self._t = t
         self._dirty = False
 
+    # -- persisted compiled rounds --------------------------------------
+
+    def _emb_vertices(self):
+        """Dense vertices incident to an edge with embedded records."""
+        edge_has = np.zeros(self._m, dtype=bool)
+        edge_has[np.array(list(self._edge_emb), dtype=np.int64)] = True
+        counts = np.diff(self._indptr)
+        vertex_of_pos = np.repeat(
+            np.arange(self._n, dtype=np.int64), counts
+        )
+        return np.unique(vertex_of_pos[edge_has[self._incident]])
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the *fully* compiled round.
+
+        Every edge is compiled and every virtual-port grouping is
+        pre-evaluated, so a process that restores the snapshot through
+        :meth:`from_state` runs the kernels with zero compile work.
+        The envelope carries the compiled-round and wire format
+        versions plus the numpy dtype signature; mismatches at restore
+        time raise, which callers treat as a cache miss.
+        """
+        self.prepare(np.arange(self._n, dtype=np.int64))
+        vp_map = {}
+        vp_bad = []
+        if self._edge_emb:
+            for dense in self._emb_vertices().tolist():
+                sids, ok = self._virtual_ports(dense)
+                if not ok:
+                    vp_bad.append(dense)
+                elif sids:
+                    vp_map[dense] = tuple(sids)
+        if self._dirty or self._t is None:
+            self._finalize()
+        t = self._t
+        tables = {
+            name: getattr(t, name)
+            for name in _STATE_I64_COLS + _STATE_BOOL_COLS
+        }
+        return {
+            "compiled_round_version": COMPILED_ROUND_VERSION,
+            "wire_version": WIRE_VERSION,
+            "dtypes": _dtype_signature(),
+            "n": self._n,
+            "m": self._m,
+            "edge_sid": self._edge_sid.copy(),
+            "tables": tables,
+            "vp_map": vp_map,
+            "vp_bad": sorted(vp_bad),
+        }
+
+    @classmethod
+    def from_state(cls, arrays, state, algebra, max_width):
+        """Attach to a persisted compiled round.
+
+        Raises on *any* version, dtype, shape, or structural mismatch —
+        the caller maps every failure to a recompile, so a stale or
+        corrupt envelope can only cost time, never correctness.
+        """
+        round_ = cls(arrays, None, algebra, max_width)
+        round_._attach(state)
+        return round_
+
+    def _attach(self, state) -> None:
+        def check(ok, what):
+            if not ok:
+                raise ValueError(what)
+
+        check(isinstance(state, dict), "state is not a dict")
+        check(
+            state.get("compiled_round_version") == COMPILED_ROUND_VERSION,
+            "compiled-round version mismatch",
+        )
+        check(
+            state.get("wire_version") == WIRE_VERSION,
+            "wire format version mismatch",
+        )
+        check(
+            tuple(state.get("dtypes", ())) == _dtype_signature(),
+            "numpy dtype signature mismatch",
+        )
+        check(
+            state.get("n") == self._n and state.get("m") == self._m,
+            "graph shape mismatch",
+        )
+        tables = state.get("tables")
+        check(isinstance(tables, dict), "missing kernel tables")
+        t = _Tables()
+        for name in _STATE_I64_COLS:
+            col = np.asarray(tables[name], dtype=np.int64)
+            check(col.ndim == 1, f"column {name} is not flat")
+            setattr(t, name, col)
+        for name in _STATE_BOOL_COLS:
+            col = np.asarray(tables[name], dtype=bool)
+            check(col.ndim == 1, f"column {name} is not flat")
+            setattr(t, name, col)
+        nrecords = int(t.r_type.shape[0])
+        for name in _STATE_RECORD_COLS:
+            check(
+                getattr(t, name).shape[0] == nrecords,
+                f"record column {name} length mismatch",
+            )
+        for counts, indptr, flats in (
+            (t.ch_counts, t.ch_indptr, (t.ch_cid,)),
+            (t.ch_ids_counts, t.ch_ids_indptr, (t.ch_ids_flat,)),
+            (t.min_counts, t.min_indptr, (t.min_lane, t.min_id)),
+            (t.st_len, t.st_indptr, (t.st_rec, t.st_path, t.st_next)),
+        ):
+            check(
+                counts.size == 0 or int(counts.min()) >= 0,
+                "negative segment count",
+            )
+            check(
+                np.array_equal(
+                    indptr,
+                    np.concatenate(
+                        [np.zeros(1, np.int64), np.cumsum(counts)]
+                    ),
+                ),
+                "segment index pointers are inconsistent",
+            )
+            total = int(indptr[-1]) if indptr.size else 0
+            for flat in flats:
+                check(flat.shape[0] == total, "segment payload truncated")
+        check(
+            t.ch_ids_counts.shape[0] == t.ch_cid.shape[0],
+            "child-id counts misaligned",
+        )
+        nstacks = int(t.st_len.shape[0])
+        check(t.st_flag.shape[0] == nstacks, "stack flags misaligned")
+        check(
+            t.st_rec.size == 0
+            or (
+                int(t.st_rec.min()) >= 0
+                and int(t.st_rec.max()) < nrecords
+            ),
+            "stack record ids out of range",
+        )
+        check(
+            t.pid_t.shape == t.pid_keys.shape,
+            "P-node key table misaligned",
+        )
+        for sorted_col in (t.tin, t.pid_keys):
+            check(
+                sorted_col.size < 2
+                or bool((np.diff(sorted_col) >= 0).all()),
+                "searchsorted table is unsorted",
+            )
+        check(t.me_code.shape[0] == self._n, "me_code length mismatch")
+        edge_sid = np.asarray(state.get("edge_sid"), dtype=np.int64)
+        check(
+            edge_sid.shape == (self._m,), "edge stack column misaligned"
+        )
+        check(
+            edge_sid.size == 0
+            or (
+                int(edge_sid.min()) >= -3
+                and int(edge_sid.max()) < nstacks
+            ),
+            "edge stack ids out of range",
+        )
+        vp_map = state.get("vp_map")
+        vp_bad = state.get("vp_bad")
+        check(isinstance(vp_map, dict), "vp_map is not a dict")
+        clean_map = {}
+        for dense, sids in vp_map.items():
+            check(
+                type(dense) is int and 0 <= dense < self._n,
+                "virtual-port vertex out of range",
+            )
+            sids = tuple(sids)
+            for sid in sids:
+                check(
+                    type(sid) is int and 0 <= sid < nstacks,
+                    "virtual-port stack id out of range",
+                )
+            clean_map[dense] = sids
+        clean_bad = set()
+        for dense in vp_bad:
+            check(
+                type(dense) is int and 0 <= dense < self._n,
+                "flagged vertex out of range",
+            )
+            clean_bad.add(dense)
+        self._t = t
+        self._edge_sid = edge_sid
+        self._dirty = False
+        self._attached = True
+        self._vp_map = clean_map
+        self._vp_bad = clean_bad
+
     # -- the kernels ----------------------------------------------------
 
     def run(self, order):
         """Kernel-verify dense vertices ``order``; returns (accept, stats)."""
         began = perf_counter()
         req = np.asarray(list(order), dtype=np.int64)
-        self.prepare(req)
         vports = {}
         flagged_py = set()
-        if self._edge_emb:
-            edge_has = np.zeros(self._m, dtype=bool)
-            edge_has[np.array(list(self._edge_emb), dtype=np.int64)] = True
-            counts = np.diff(self._indptr)
-            vertex_of_pos = np.repeat(
-                np.arange(self._n, dtype=np.int64), counts
-            )
-            emb_vertices = np.unique(vertex_of_pos[edge_has[self._incident]])
-            req_mask = np.zeros(self._n, dtype=bool)
-            req_mask[req] = True
-            for dense in emb_vertices[req_mask[emb_vertices]].tolist():
-                sids, ok = self._virtual_ports(dense)
-                if not ok:
-                    flagged_py.add(dense)
-                elif sids:
-                    vports[dense] = sids
-        if self._dirty or self._t is None:
-            self._finalize()
-        compile_seconds = perf_counter() - began
+        if self._attached:
+            # Restored rounds are fully compiled: virtual ports were
+            # pre-evaluated at export time, so the whole cold path
+            # reduces to dictionary filtering.
+            if self._vp_map or self._vp_bad:
+                req_set = set(req.tolist())
+                for dense, sids in self._vp_map.items():
+                    if dense in req_set:
+                        vports[dense] = list(sids)
+                flagged_py = self._vp_bad & req_set
+            compile_seconds = 0.0
+        else:
+            self.prepare(req)
+            if self._edge_emb:
+                emb_vertices = self._emb_vertices()
+                req_mask = np.zeros(self._n, dtype=bool)
+                req_mask[req] = True
+                for dense in emb_vertices[req_mask[emb_vertices]].tolist():
+                    sids, ok = self._virtual_ports(dense)
+                    if not ok:
+                        flagged_py.add(dense)
+                    elif sids:
+                        vports[dense] = sids
+            if self._dirty or self._t is None:
+                self._finalize()
+            compile_seconds = perf_counter() - began
         self.compile_seconds += compile_seconds
         began = perf_counter()
         accept = self._kernels(req, vports, flagged_py)
@@ -983,8 +1225,8 @@ class KernelRound:
             "fallback_vertices": int(req.size) - kernel_accepted,
             "compile_seconds": compile_seconds,
             "kernel_seconds": kernel_seconds,
-            "records": len(self._r_type),
-            "stacks": len(self._s_recs),
+            "records": int(self._t.r_type.shape[0]),
+            "stacks": int(self._t.st_flag.shape[0]),
         }
         return accept, stats
 
@@ -1399,6 +1641,101 @@ def _store_round_arrays(cache, key, arrays, seconds) -> None:
     cache.put(key, "round-arrays", {"pack": pack}, seconds)
 
 
+def _compiled_round_cache_key(config, scheme, digest):
+    """Content key of a persisted compiled round, or ``None``.
+
+    The compiled tables depend on the graph (``config_fingerprint``),
+    the exact labeling (its wire digest), the verifier profile, and the
+    envelope/wire format versions — any of these changing must produce
+    a different key, so stale envelopes are simply never looked up.
+    Returns ``None`` when the labeling has no digest or the algebra has
+    no stable key: identity-keyed state cannot survive a restart.
+    """
+    if digest is None:
+        return None
+    algebra_key = getattr(getattr(scheme, "algebra", None), "key", None)
+    if algebra_key is None:
+        return None
+    from repro.api.plan import config_fingerprint
+
+    raw = repr(
+        (
+            config_fingerprint(config),
+            digest,
+            algebra_key,
+            scheme.max_width,
+            COMPILED_ROUND_VERSION,
+            WIRE_VERSION,
+        )
+    )
+    token = hashlib.blake2b(raw.encode(), digest_size=16).hexdigest()
+    return f"compiled-round:{token}"
+
+
+def _cached_compiled_state(cache, key):
+    """Raw persisted envelope for ``key`` (``None`` on any miss)."""
+    if cache is None or key is None:
+        return None
+    entry = cache.get(key)
+    if entry is None:
+        return None
+    state = entry.outputs.get("state")
+    if not isinstance(state, dict):
+        return None
+    return state
+
+
+def _attach_compiled_round(cache, key, arrays, algebra, max_width):
+    """Restore a persisted compiled round; ``None`` on any mismatch."""
+    state = _cached_compiled_state(cache, key)
+    if state is None:
+        return None
+    try:
+        return KernelRound.from_state(arrays, state, algebra, max_width)
+    except Exception:
+        return None
+
+
+def _store_compiled_round(cache, key, round_) -> None:
+    """Persist one freshly compiled round under its content key."""
+    if cache is None or key is None:
+        return
+    began = perf_counter()
+    try:
+        state = round_.export_state()
+        cache.put(
+            key, "compiled-round", {"state": state},
+            perf_counter() - began,
+        )
+    except Exception:
+        # Export is best-effort: an unvectorizable tail or unpicklable
+        # field only loses the cache entry, never the round.
+        return
+
+
+class _LabelingOffer:
+    """Digest handoff mixin: the engine offers the labeling it is about
+    to verify, and executors key persisted compiled rounds on its wire
+    digest (stamped by the encode path).  Identity of the mapping ties
+    the offer to the exact ``execute`` call that follows."""
+
+    _offered = None
+
+    def offer_labeling(self, labeling) -> None:
+        digest = getattr(labeling, "wire_digest", None)
+        mapping = getattr(labeling, "mapping", None)
+        if digest is not None and mapping is not None:
+            self._offered = (id(mapping), digest)
+        else:
+            self._offered = None
+
+    def _digest_for(self, mapping):
+        offered = self._offered
+        if offered is not None and offered[0] == id(mapping):
+            return offered[1]
+        return None
+
+
 def _reference_outcome(factory, scheme, order, fail_fast, stats):
     outcome = _run_range(
         factory, scheme, order, 0, len(order), 0, fail_fast
@@ -1417,7 +1754,7 @@ def _reference_outcome(factory, scheme, order, fail_fast, stats):
     ]
 
 
-class VectorizedExecutor(VerificationExecutor):
+class VectorizedExecutor(_LabelingOffer, VerificationExecutor):
     """Whole-round numpy kernels with reference fallback.
 
     Verdict-identical to :class:`~repro.api.runtime.SerialExecutor` on
@@ -1443,6 +1780,8 @@ class VectorizedExecutor(VerificationExecutor):
         self._held_key = None
         self._held_round: Optional[KernelRound] = None
         self._held_arrays_cached = False
+        self._held_compiled_cached = False
+        self._pending_store = None
 
     def adopt_artifacts(self, cache) -> None:
         """Accept a session's artifact cache unless one was configured.
@@ -1475,12 +1814,22 @@ class VectorizedExecutor(VerificationExecutor):
                 self.artifacts, cache_key, arrays, perf_counter() - began
             )
         algebra, max_width = profile
-        round_ = KernelRound(
-            arrays, factory.edge_certificates, algebra, max_width
+        compiled_key = _compiled_round_cache_key(
+            config, scheme, self._digest_for(mapping)
         )
+        round_ = _attach_compiled_round(
+            self.artifacts, compiled_key, arrays, algebra, max_width
+        )
+        self._pending_store = None
+        if round_ is None:
+            round_ = KernelRound(
+                arrays, factory.edge_certificates, algebra, max_width
+            )
+            self._pending_store = compiled_key
         self._held_key = key
         self._held_round = round_
         self._held_arrays_cached = arrays_cached
+        self._held_compiled_cached = round_._attached
         return round_, None
 
     def execute(self, config, scheme, mapping, location, vertices, fail_fast):
@@ -1510,6 +1859,14 @@ class VectorizedExecutor(VerificationExecutor):
         base_stats.update(stats)
         base_stats["mode"] = "kernel"
         base_stats["arrays_cached"] = self._held_arrays_cached
+        base_stats["compiled_round_cached"] = self._held_compiled_cached
+        if self._pending_store is not None:
+            # The round just verified successfully from a fresh compile:
+            # persist its compiled form so the next process attaches.
+            _store_compiled_round(
+                self.artifacts, self._pending_store, round_
+            )
+            self._pending_store = None
         names = factory.vertices
         verdicts = {}
         flagged = []
@@ -1602,11 +1959,24 @@ def _shm_init_worker(arrays_name: str, blob_name: str) -> None:
     buf = np.frombuffer(arr_shm.buf, dtype=np.int64)
     arrays, order = unpack_round_arrays(buf)
     size = int.from_bytes(bytes(blob_shm.buf[:8]), "little")
-    scheme, edge_labels = pickle.loads(bytes(blob_shm.buf[8:8 + size]))
+    scheme, edge_labels, state = pickle.loads(
+        bytes(blob_shm.buf[8:8 + size])
+    )
     profile = _theorem1_profile(scheme)
     round_ = None
     if profile is not None:
-        round_ = KernelRound(arrays, edge_labels, profile[0], profile[1])
+        if state is not None:
+            # Pre-compiled round shipped by the parent: attach instead
+            # of compiling.  Any mismatch degrades to the fallbacks
+            # below, never an error.
+            try:
+                round_ = KernelRound.from_state(
+                    arrays, state, profile[0], profile[1]
+                )
+            except Exception:
+                round_ = None
+        if round_ is None and edge_labels is not None:
+            round_ = KernelRound(arrays, edge_labels, profile[0], profile[1])
     # Keep the shm handles alive: the numpy columns are views into them.
     _SHM_ROUND = (round_, order, arr_shm, blob_shm)
 
@@ -1626,7 +1996,7 @@ def _shm_verify_range(start: int, stop: int):
     return start, stop, accept.tobytes(), stats
 
 
-class SharedMemoryExecutor(VerificationExecutor):
+class SharedMemoryExecutor(_LabelingOffer, VerificationExecutor):
     """Kernel rounds fanned out over ``multiprocessing.shared_memory``.
 
     The parent packs the round's CSR + identifier + order arrays into
@@ -1704,7 +2074,9 @@ class SharedMemoryExecutor(VerificationExecutor):
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _pool_for(self, key, order, arrays, scheme, edge_labels, workers):
+    def _pool_for(
+        self, key, order, arrays, scheme, edge_labels, workers, state=None
+    ):
         if (
             self._pool is not None
             and _same_key(self._held_key, key)
@@ -1720,7 +2092,16 @@ class SharedMemoryExecutor(VerificationExecutor):
         )
         self._segments.append(arr_shm)
         np.frombuffer(arr_shm.buf, dtype=np.int64)[: packed.shape[0]] = packed
-        blob = pickle.dumps((scheme.verifier_only(), edge_labels))
+        # With a pre-compiled state the certificate column stays home:
+        # workers attach to the shipped tables, and the reference
+        # fallback for flagged vertices runs in the parent anyway.
+        blob = pickle.dumps(
+            (
+                scheme.verifier_only(),
+                None if state is not None else edge_labels,
+                state,
+            )
+        )
         blob_shm = shared_memory.SharedMemory(
             create=True, size=len(blob) + 8
         )
@@ -1772,9 +2153,38 @@ class SharedMemoryExecutor(VerificationExecutor):
             )
         workers = self.max_workers or os.cpu_count() or 1
         key = _round_key(config, scheme, mapping, location)
+        compiled_key = _compiled_round_cache_key(
+            config, scheme, self._digest_for(mapping)
+        )
+        state = _cached_compiled_state(self.artifacts, compiled_key)
+        if state is not None:
+            # Validate in the parent before shipping: a corrupt or
+            # stale envelope becomes a recompile, never a worker error.
+            try:
+                KernelRound.from_state(arrays, state, *profile)
+            except Exception:
+                state = None
+        compiled_cached = state is not None
+        parent_compile = 0.0
+        if (
+            state is None
+            and compiled_key is not None
+            and self.artifacts is not None
+        ):
+            # Compile once in the parent and ship the tables, so the
+            # workers (and every later process) attach instead of each
+            # compiling the same round.
+            began_compile = perf_counter()
+            fresh = KernelRound(
+                arrays, factory.edge_certificates, *profile
+            )
+            _store_compiled_round(self.artifacts, compiled_key, fresh)
+            state = _cached_compiled_state(self.artifacts, compiled_key)
+            parent_compile = perf_counter() - began_compile
         try:
             pool = self._pool_for(
-                key, order, arrays, scheme, factory.edge_certificates, workers
+                key, order, arrays, scheme, factory.edge_certificates,
+                workers, state,
             )
         except Exception as exc:
             self.close()
@@ -1823,6 +2233,12 @@ class SharedMemoryExecutor(VerificationExecutor):
         base_stats.update(merged)
         base_stats["mode"] = "kernel"
         base_stats["ranges"] = len(futures)
+        # After the merge: worker booleans would sum as integers.
+        base_stats["compiled_round_cached"] = compiled_cached
+        if parent_compile:
+            base_stats["compile_seconds"] = (
+                base_stats.get("compile_seconds", 0.0) + parent_compile
+            )
         names = factory.vertices
         verdicts = {}
         flagged = []

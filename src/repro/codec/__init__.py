@@ -33,8 +33,15 @@ from repro.codec.wire import (
     decode_labeling,
     encode_label,
     encode_labeling,
+    labeling_digest,
+    stamp_wire_digest,
 )
-from repro.codec.columnar import ColumnarDecoder, decode_labeling_columnar
+from repro.codec.columnar import (
+    ColumnarDecoder,
+    ColumnarEncoder,
+    decode_labeling_columnar,
+    encode_labeling_columnar,
+)
 
 __all__ = [
     "BitReader",
@@ -51,6 +58,10 @@ __all__ = [
     "decode_label",
     "encode_labeling",
     "decode_labeling",
+    "labeling_digest",
+    "stamp_wire_digest",
     "ColumnarDecoder",
+    "ColumnarEncoder",
     "decode_labeling_columnar",
+    "encode_labeling_columnar",
 ]

@@ -37,6 +37,7 @@ never more than the accounted ``id_bits``.  Decoding restores the exact
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -813,3 +814,62 @@ def encode_labeling(
 def decode_labeling(encoded: EncodedLabeling) -> Labeling:
     """Inverse of :func:`encode_labeling` (delegates to ``encoded.decode``)."""
     return encoded.decode()
+
+
+def labeling_digest(encoded: EncodedLabeling) -> str:
+    """Cryptographic content digest of an encoded labeling.
+
+    Covers the canonical header fields and every label's key, bytes,
+    and exact bit length (keys sorted by ``repr`` so dict order never
+    matters).  This is the content link in the compiled-round envelope
+    key (:mod:`repro.api.vectorized`): an attached round's kernels
+    accept without re-deriving anything from the certificates, so the
+    digest that vouches "same certificates" must be
+    collision-resistant — hence blake2b, not a structural fingerprint.
+    """
+    h = encoded.header
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        repr(
+            (
+                h.version,
+                h.n,
+                h.universe_bits,
+                h.class_count,
+                tuple(h.id_table),
+                tuple(canonical_state_repr(s) for s in h.states),
+                tuple(repr(t) for t in h.tags),
+                h.lane_bits,
+                h.node_width,
+                h.counter_width,
+                h.depth_width,
+                h.embed_width,
+                h.path_width,
+                h.child_width,
+            )
+        ).encode()
+    )
+    digest.update(repr(encoded.location).encode())
+    for key in sorted(encoded.labels, key=repr):
+        entry = encoded.labels[key]
+        digest.update(repr(key).encode())
+        digest.update(entry.data)
+        digest.update(str(entry.bit_length).encode())
+    return digest.hexdigest()
+
+
+def stamp_wire_digest(labeling: Labeling, encoded: EncodedLabeling) -> None:
+    """Attach ``encoded``'s content digest to ``labeling``.
+
+    The verification engines hand executors only the mapping dict, so
+    the digest rides on the labeling object
+    (``labeling.wire_digest``) and is offered to cache-aware executors
+    via their ``offer_labeling`` hook — the handle that lets a
+    restarted process attach a persisted compiled round.  Best-effort:
+    a labeling that cannot be digested simply never gets the
+    compiled-round cache.
+    """
+    try:
+        labeling.wire_digest = labeling_digest(encoded)
+    except Exception:
+        pass

@@ -358,31 +358,47 @@ class CertificateBuilder:
         from ``certificates`` cannot happen (every real edge is in G').
         """
         certificates = self.edge_certificates()
-        embedded: dict = {}
         virtual_keys = set(embedding.paths)
+        # Pass 1 — materialize each path's records in one sweep (they
+        # share u_id/v_id/payload; only the rank pair varies), then
+        # bucket them under their carrier edges.
+        embedded: dict = {}
         for key, path in embedding.paths.items():
             payload = certificates[key]
             u_id = self.ids[path[0]]
             v_id = self.ids[path[-1]]
             length = len(path) - 1
-            for index, (a, b) in enumerate(zip(path, path[1:])):
-                record = EmbeddedRecord(
+            records = [
+                EmbeddedRecord(
                     u_id=u_id,
                     v_id=v_id,
-                    forward=index + 1,
-                    backward=length - index,
+                    forward=rank,
+                    backward=length + 1 - rank,
                     payload=payload,
                 )
-                embedded.setdefault(edge_key(a, b), []).append(record)
-        labels = {}
-        for key, certificate in certificates.items():
-            if key in virtual_keys:
-                continue  # virtual edges have no physical carrier of their own
-            labels[key] = Theorem1Label(
+                for rank in range(1, length + 1)
+            ]
+            for record, a, b in zip(records, path, path[1:]):
+                carrier = edge_key(a, b)
+                bucket = embedded.get(carrier)
+                if bucket is None:
+                    embedded[carrier] = [record]
+                else:
+                    bucket.append(record)
+        # Pass 2 — assemble the whole mapping in one comprehension;
+        # edges without embedded traffic share a single empty tuple.
+        # Virtual edges have no physical carrier of their own.
+        empty: tuple = ()
+        return {
+            key: Theorem1Label(
                 certificate=certificate,
-                embedded=tuple(embedded.get(key, ())),
+                embedded=(
+                    tuple(embedded[key]) if key in embedded else empty
+                ),
             )
-        return labels
+            for key, certificate in certificates.items()
+            if key not in virtual_keys
+        }
 
 
 # ----------------------------------------------------------------------

@@ -98,20 +98,47 @@ def canonical_state_repr(state) -> str:
     """
     # Each container form carries a distinct prefix so the rewriting
     # stays injective across types (set() and {} must not collide).
+    # Containers recurse only for container elements: atoms take the
+    # ``repr`` shortcut inline, which keeps the common case (tuples of
+    # ints/strings) one call deep.
+    if type(state) is tuple:
+        return (
+            "("
+            + ",".join(
+                [
+                    canonical_state_repr(item)
+                    if isinstance(item, _CONTAINER_TYPES)
+                    else repr(item)
+                    for item in state
+                ]
+            )
+            + ",)"
+        )
     if isinstance(state, (set, frozenset)):
-        inner = sorted(canonical_state_repr(item) for item in state)
+        inner = sorted([canonical_state_repr(item) for item in state])
         return "s{" + ",".join(inner) + "}"
     if isinstance(state, dict):
         items = sorted(
             (canonical_state_repr(k), canonical_state_repr(v))
             for k, v in state.items()
         )
-        return "d{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+        return "d{" + ",".join([f"{k}:{v}" for k, v in items]) + "}"
     if isinstance(state, tuple):
-        return "(" + ",".join(canonical_state_repr(item) for item in state) + ",)"
+        return (
+            "("
+            + ",".join([canonical_state_repr(item) for item in state])
+            + ",)"
+        )
     if isinstance(state, list):
-        return "[" + ",".join(canonical_state_repr(item) for item in state) + "]"
+        return (
+            "["
+            + ",".join([canonical_state_repr(item) for item in state])
+            + "]"
+        )
     return repr(state)
+
+
+_CONTAINER_TYPES = (set, frozenset, dict, tuple, list)
 
 
 def join_slot_map(arity1: int, arity2: int, identify: tuple) -> dict:

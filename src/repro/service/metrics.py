@@ -133,6 +133,10 @@ class ServiceMetrics:
         self.kernel_accepted = 0
         self.kernel_fallback = 0
         self.kernel_compiled = 0
+        self.kernel_compile_seconds = 0.0
+        self.compiled_round_hits = 0
+        self.encode_runs = 0
+        self.encode_seconds = 0.0
         self.decomposition_engines: dict = {}  # engine name -> runs
         self.decomposition_nodes = 0
         self.decomposition_memo_hits = 0
@@ -190,6 +194,17 @@ class ServiceMetrics:
             self.kernel_accepted += int(stats.get("kernel_accepted", 0))
             self.kernel_fallback += int(stats.get("fallback_vertices", 0))
             self.kernel_compiled += int(stats.get("compiled_vertices", 0))
+            self.kernel_compile_seconds += float(
+                stats.get("compile_seconds", 0.0)
+            )
+            if stats.get("compiled_round_cached"):
+                self.compiled_round_hits += 1
+
+    def encode_run(self, seconds: float) -> None:
+        """Record one bulk wire-encode of a labeling (the cold path)."""
+        with self._lock:
+            self.encode_runs += 1
+            self.encode_seconds += float(seconds)
 
     def decomposition_run(self, stats) -> None:
         """Record one report's ``decomposition_stats`` (if any)."""
@@ -242,6 +257,14 @@ class ServiceMetrics:
                     "kernel_accepted": self.kernel_accepted,
                     "fallback_vertices": self.kernel_fallback,
                     "compiled_vertices": self.kernel_compiled,
+                    "compile_seconds": round(
+                        self.kernel_compile_seconds, 6
+                    ),
+                    "compiled_round_hits": self.compiled_round_hits,
+                },
+                "encode": {
+                    "runs": self.encode_runs,
+                    "seconds": round(self.encode_seconds, 6),
                 },
                 "incremental": {
                     "updates": self.updates,

@@ -349,6 +349,12 @@ class CertificationService:
                 reports[prop] = report
                 served[prop] = "prover"
                 self.metrics.store_served(False)
+                self.metrics.encode_run(
+                    getattr(report, "encode_seconds", 0.0)
+                )
+                self.metrics.kernel_round(
+                    getattr(report.verification, "kernel_stats", None)
+                )
                 if fresh_structure:
                     # One decomposition serves the whole property batch;
                     # count it once per prover run.

@@ -262,3 +262,68 @@ def test_session_batch_reports_measured_sizes():
         assert report.max_label_bits == report.encoded.max_bits
         assert report.max_label_bits <= report.accounted_max_label_bits
         assert report.encoded.decode().mapping == report.labeling.mapping
+
+
+# ----------------------------------------------------------------------
+# PR 10: the columnar bulk encoder must be byte-identical to the
+# reference per-label encoder on every labeling the pipeline produces.
+# ----------------------------------------------------------------------
+def _assert_byte_identical(bulk, ref):
+    assert bulk.header == ref.header
+    assert bulk.location == ref.location
+    assert set(bulk.labels) == set(ref.labels)
+    for key in ref.labels:
+        assert bulk.labels[key].data == ref.labels[key].data, key
+        assert bulk.labels[key].bit_length == ref.labels[key].bit_length, key
+
+
+class TestColumnarEncoderByteIdentity:
+    @given(
+        width=st.integers(min_value=2, max_value=4),
+        n=st.integers(min_value=8, max_value=56),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_direct_encoder_byte_identity(self, width, n, seed):
+        """The *direct* ColumnarEncoder path (no fallback safety net —
+        `encode_labeling_columnar` would silently mask a bulk-path bug
+        by falling back to the reference encoder)."""
+        numpy = pytest.importorskip("numpy")  # noqa: F841
+        from repro.codec import ColumnarEncoder
+        from repro.codec.wire import _EncodeMemo
+
+        labeling = _lanewidth_labeling(width, n, seed).labeling
+        ref = encode_labeling(labeling)
+        memo = _EncodeMemo()
+        header = WireHeader.for_labeling(labeling, memo)
+        bulk = ColumnarEncoder(header, memo).encode(labeling)
+        _assert_byte_identical(bulk, ref)
+
+    def test_wrapper_byte_identity_and_round_trip(self):
+        from repro.codec import encode_labeling_columnar
+
+        labeling = _lanewidth_labeling(3, 40, seed=17).labeling
+        ref = encode_labeling(labeling)
+        bulk = encode_labeling_columnar(labeling)
+        _assert_byte_identical(bulk, ref)
+        assert bulk.decode().mapping == labeling.mapping
+
+    def test_pathwidth_mode_byte_identity(self):
+        pytest.importorskip("numpy")
+        from repro.codec import ColumnarEncoder
+        from repro.codec.wire import _EncodeMemo
+
+        graph, decomposition = pathwidth_workload(24, 2, seed=5)
+        report = certify(
+            graph,
+            "connected",
+            k=2,
+            rng=random.Random(6),
+            decomposer=lambda _g: decomposition,
+        )
+        assert report.accepted
+        ref = encode_labeling(report.labeling)
+        memo = _EncodeMemo()
+        header = WireHeader.for_labeling(report.labeling, memo)
+        bulk = ColumnarEncoder(header, memo).encode(report.labeling)
+        _assert_byte_identical(bulk, ref)

@@ -532,3 +532,222 @@ class TestRoundArraysPersistence:
             )
         assert second.kernel_stats.get("arrays_cached") is True
         assert second.verdicts == report.verdicts
+
+
+@needs_numpy
+class TestCompiledRoundPersistence:
+    """PR 10 tentpole: compiled rounds survive process restarts.
+
+    The executor exports the whole compiled round (tables, virtual
+    ports, edge owners) into a versioned envelope stored through the
+    artifact cache, keyed by the labeling's wire digest chain.  A
+    restarted process attaches it with **zero** recompilation; any
+    stale, foreign, or corrupt envelope is a silent cache miss — never
+    an exception, never a wrong verdict.
+    """
+
+    @staticmethod
+    def _stamped_case(seed: int, extra: int = 24):
+        """A `_case` whose labeling carries its wire digest (the
+        compiled-round cache key requires one)."""
+        from repro.codec import encode_labeling_columnar, stamp_wire_digest
+
+        config, scheme, labeling = _case(seed, extra=extra)
+        stamp_wire_digest(labeling, encode_labeling_columnar(labeling))
+        return config, scheme, labeling
+
+    def test_restarted_executor_attaches_compiled_round(self, tmp_path):
+        config, scheme, labeling = self._stamped_case(3)
+        first = VerificationEngine(
+            VectorizedExecutor(
+                artifacts=ArtifactCache(root=tmp_path), audit=True
+            )
+        ).verify(config, scheme, labeling)
+        assert first.kernel_stats["mode"] == "kernel"
+        assert first.kernel_stats["compiled_round_cached"] is False
+        assert first.kernel_stats["compile_seconds"] > 0.0
+        # Fresh executor + fresh cache object over the same directory
+        # models a restarted process: the round attaches from disk.
+        second = VerificationEngine(
+            VectorizedExecutor(
+                artifacts=ArtifactCache(root=tmp_path), audit=True
+            )
+        ).verify(config, scheme, labeling)
+        assert second.kernel_stats["mode"] == "kernel"
+        assert second.kernel_stats["compiled_round_cached"] is True
+        assert second.kernel_stats["compile_seconds"] == 0.0
+        assert second.verdicts == first.verdicts
+        assert second.accepted == first.accepted
+
+    def test_digestless_labeling_bypasses_envelope(self, tmp_path):
+        """No wire digest -> no content key -> the envelope layer stays
+        out of the way (arrays still persist; verdicts unchanged)."""
+        config, scheme, labeling = _case(6)
+        for _ in range(2):
+            report = VerificationEngine(
+                VectorizedExecutor(artifacts=ArtifactCache(root=tmp_path))
+            ).verify(config, scheme, labeling)
+            assert report.kernel_stats["mode"] == "kernel"
+            assert report.kernel_stats["compiled_round_cached"] is False
+
+    def test_shared_memory_ships_persisted_round(self, tmp_path):
+        """The pool parent validates + ships the envelope blob; workers
+        attach instead of compiling."""
+        config, scheme, labeling = self._stamped_case(5)
+        with SharedMemoryExecutor(
+            max_workers=2, artifacts=ArtifactCache(root=tmp_path)
+        ) as first:
+            cold = VerificationEngine(first).verify(config, scheme, labeling)
+        assert cold.kernel_stats.get("compiled_round_cached") is False
+        with SharedMemoryExecutor(
+            max_workers=2, artifacts=ArtifactCache(root=tmp_path)
+        ) as restarted:
+            warm = VerificationEngine(restarted).verify(
+                config, scheme, labeling
+            )
+        assert warm.kernel_stats.get("compiled_round_cached") is True
+        assert warm.kernel_stats.get("compile_seconds") == 0.0
+        assert warm.verdicts == cold.verdicts
+        assert warm.accepted == cold.accepted
+
+    # -- envelope guards (PR 10 satellite): stale/corrupt == miss ------
+    @staticmethod
+    def _envelopes(root):
+        """All (path, manifest) artifact files holding compiled rounds."""
+        import pickle
+
+        from repro.api.artifacts import ARTIFACT_MAGIC
+
+        found = []
+        for path in Path(root).glob("*.art"):
+            payload = path.read_bytes()
+            manifest = pickle.loads(payload[len(ARTIFACT_MAGIC):])
+            if str(manifest.get("key", "")).startswith("compiled-round:"):
+                found.append((path, manifest))
+        return found
+
+    def _tampered_run(self, tmp_path, mutate):
+        """Cold run -> tamper every stored envelope -> restarted run.
+
+        Returns the restarted report; asserts it recompiled cleanly
+        with the cold run's exact verdicts.
+        """
+        import pickle
+
+        from repro.api.artifacts import ARTIFACT_MAGIC
+
+        config, scheme, labeling = self._stamped_case(9)
+        cold = VerificationEngine(
+            VectorizedExecutor(artifacts=ArtifactCache(root=tmp_path))
+        ).verify(config, scheme, labeling)
+        assert cold.kernel_stats["mode"] == "kernel"
+        envelopes = self._envelopes(tmp_path)
+        assert envelopes, "cold run stored no compiled-round envelope"
+        for path, manifest in envelopes:
+            mutate(manifest["outputs"]["state"])
+            path.write_bytes(
+                ARTIFACT_MAGIC + pickle.dumps(manifest, protocol=4)
+            )
+        report = VerificationEngine(
+            VectorizedExecutor(artifacts=ArtifactCache(root=tmp_path))
+        ).verify(config, scheme, labeling)
+        assert report.kernel_stats["mode"] == "kernel"
+        assert report.kernel_stats["compiled_round_cached"] is False
+        assert report.verdicts == cold.verdicts
+        assert report.accepted == cold.accepted
+        return report
+
+    def test_stale_version_envelope_recompiles(self, tmp_path):
+        self._tampered_run(
+            tmp_path,
+            lambda state: state.update(compiled_round_version=999),
+        )
+
+    def test_stale_wire_version_envelope_recompiles(self, tmp_path):
+        self._tampered_run(
+            tmp_path, lambda state: state.update(wire_version=999)
+        )
+
+    def test_foreign_dtype_envelope_recompiles(self, tmp_path):
+        self._tampered_run(
+            tmp_path, lambda state: state.update(dtypes=(">i4", "|b1"))
+        )
+
+    def test_truncated_tables_envelope_recompiles(self, tmp_path):
+        def chop(state):
+            state["tables"]["r_type"] = state["tables"]["r_type"][:-1]
+
+        self._tampered_run(tmp_path, chop)
+
+    def test_inconsistent_indptr_envelope_recompiles(self, tmp_path):
+        def skew(state):
+            indptr = state["tables"]["ch_indptr"].copy()
+            if indptr.shape[0] > 1:
+                indptr[-1] += 1
+            state["tables"]["ch_indptr"] = indptr
+
+        self._tampered_run(tmp_path, skew)
+
+    def test_gutted_state_envelope_recompiles(self, tmp_path):
+        self._tampered_run(tmp_path, lambda state: state.clear())
+
+    # -- fresh interpreter (PR 10 satellite) ---------------------------
+    def test_persisted_round_survives_fresh_interpreter(self, tmp_path):
+        """Two genuinely fresh processes over one cache directory: the
+        first compiles + persists, the second attaches with
+        ``compile_seconds == 0`` and identical verdicts — audit mode on
+        in both, so every kernel accept is re-proved against the
+        reference verifier."""
+        script = (
+            "import json, random, sys\n"
+            "from repro.api import (ArtifactCache, VectorizedExecutor,\n"
+            "                       VerificationEngine)\n"
+            "from repro.codec import (encode_labeling_columnar,\n"
+            "                         stamp_wire_digest)\n"
+            "from repro.core import (certify_lanewidth_graph,\n"
+            "                        random_lanewidth_sequence)\n"
+            "rng = random.Random(7)\n"
+            "sequence = random_lanewidth_sequence(\n"
+            "    3, 16, rng, edge_probability=0.15)\n"
+            "config, scheme, labeling, _res = certify_lanewidth_graph(\n"
+            "    sequence, 'connected', rng)\n"
+            "stamp_wire_digest(labeling, encode_labeling_columnar(labeling))\n"
+            "report = VerificationEngine(VectorizedExecutor(\n"
+            "    artifacts=ArtifactCache(root=sys.argv[1]))).verify(\n"
+            "    config, scheme, labeling)\n"
+            "stats = report.kernel_stats\n"
+            "print(json.dumps({\n"
+            "    'mode': stats.get('mode'),\n"
+            "    'cached': stats.get('compiled_round_cached'),\n"
+            "    'compile_seconds': stats.get('compile_seconds'),\n"
+            "    'accepted': report.accepted,\n"
+            "    'verdicts': sorted(\n"
+            "        (str(v), bool(ok))\n"
+            "        for v, ok in report.verdicts.items()),\n"
+            "}))\n"
+        )
+        src_root = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root, env.get("PYTHONPATH", "")]
+        )
+        env["REPRO_VECTORIZED_AUDIT"] = "1"
+        runs = []
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path)],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert result.returncode == 0, result.stderr
+            runs.append(json.loads(result.stdout.strip()))
+        first, second = runs
+        assert first["mode"] == "kernel"
+        assert first["cached"] is False
+        assert second["mode"] == "kernel"
+        assert second["cached"] is True
+        assert second["compile_seconds"] == 0
+        assert second["accepted"] is first["accepted"]
+        assert second["verdicts"] == first["verdicts"]
